@@ -1,0 +1,53 @@
+// Command rescq-bench regenerates the paper's tables and figures. Each
+// experiment prints the same rows or series the paper reports, rendered as
+// ASCII tables/histograms.
+//
+// Usage:
+//
+//	rescq-bench -exp fig10            # one experiment, full sweep
+//	rescq-bench -exp fig10 -quick     # reduced sweep (seconds)
+//	rescq-bench -all -quick           # everything
+//	rescq-bench -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	rescq "repro"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "experiment id (see -list)")
+		all   = flag.Bool("all", false, "run every experiment")
+		quick = flag.Bool("quick", false, "reduced sweeps: small benchmarks, fewer seeds")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range rescq.ExperimentIDs {
+			fmt.Println(id)
+		}
+		return
+	}
+	ids := []string{*exp}
+	if *all {
+		ids = rescq.ExperimentIDs
+	} else if *exp == "" {
+		fmt.Fprintln(os.Stderr, "rescq-bench: need -exp <id> or -all (use -list for ids)")
+		os.Exit(2)
+	}
+	for _, id := range ids {
+		t0 := time.Now()
+		out, err := rescq.Experiment(id, *quick)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rescq-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("==== %s (%.1fs) ====\n%s\n", id, time.Since(t0).Seconds(), out)
+	}
+}

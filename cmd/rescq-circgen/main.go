@@ -1,0 +1,62 @@
+// Command rescq-circgen emits the Table 3 benchmark circuits in the
+// artifact's text format, either one to stdout or the whole suite into a
+// directory (the artifact ships a `circuits/` directory the same way).
+//
+// Usage:
+//
+//	rescq-circgen -bench gcm_n13            # one circuit to stdout
+//	rescq-circgen -all -out circuits/       # whole suite to files
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	rescq "repro"
+)
+
+func main() {
+	var (
+		bench = flag.String("bench", "", "benchmark name")
+		all   = flag.Bool("all", false, "emit every Table 3 benchmark")
+		out   = flag.String("out", "", "output directory (required with -all)")
+	)
+	flag.Parse()
+
+	switch {
+	case *all:
+		if *out == "" {
+			fatal(fmt.Errorf("-all requires -out <dir>"))
+		}
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fatal(err)
+		}
+		for _, b := range rescq.Benchmarks() {
+			text, err := rescq.BenchmarkCircuitText(b.Name)
+			if err != nil {
+				fatal(err)
+			}
+			path := filepath.Join(*out, b.Name+".txt")
+			if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s (%d qubits)\n", path, b.Qubits)
+		}
+	case *bench != "":
+		text, err := rescq.BenchmarkCircuitText(*bench)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(text)
+	default:
+		fmt.Fprintln(os.Stderr, "rescq-circgen: need -bench <name> or -all -out <dir>")
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rescq-circgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,106 @@
+// Command rescq-sim runs one simulation configuration — the reproduction's
+// analogue of the artifact's `sim` executable. It reads a JSON config file
+// (see internal/config), simulates the requested benchmark or circuit file
+// under the requested scheduler, and prints a per-seed log plus a pooled
+// summary.
+//
+// Usage:
+//
+//	rescq-sim -config path/to/config.json
+//	rescq-sim -bench gcm_n13 -scheduler rescq -d 7 -p 1e-4 -runs 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	rescq "repro"
+	"repro/internal/config"
+)
+
+func main() {
+	var (
+		cfgPath     = flag.String("config", "", "JSON config file (overrides the other flags)")
+		bench       = flag.String("bench", "", "Table 3 benchmark name (see -list)")
+		circuitFile = flag.String("circuit", "", "circuit file in the artifact text format")
+		scheduler   = flag.String("scheduler", "rescq", "greedy | autobraid | rescq")
+		distance    = flag.Int("d", 7, "surface code distance")
+		physErr     = flag.Float64("p", 1e-4, "physical qubit error rate")
+		k           = flag.Int("k", 25, "RESCQ MST recomputation period (cycles)")
+		tau         = flag.Int("tau", 100, "RESCQ MST computation latency (cycles)")
+		compression = flag.Float64("compression", 0, "grid compression fraction in [0,1]")
+		runs        = flag.Int("runs", 10, "seeded runs")
+		seed        = flag.Int64("seed", 1, "base seed")
+		list        = flag.Bool("list", false, "list benchmarks and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, b := range rescq.Benchmarks() {
+			fmt.Printf("%-16s %-9s %4d qubits  %5d Rz  %5d CNOT\n",
+				b.Name, b.Suite, b.Qubits, b.PaperRz, b.PaperCNOT)
+		}
+		return
+	}
+
+	cfg := config.Config{
+		Benchmark: *bench, CircuitFile: *circuitFile, Scheduler: *scheduler,
+		Distance: *distance, PhysError: *physErr, K: *k, TauMST: *tau,
+		Compression: *compression, NumberOfRuns: *runs, Seed: *seed,
+	}.WithDefaults()
+	if *cfgPath != "" {
+		loaded, err := config.Load(*cfgPath)
+		if err != nil {
+			fatal(err)
+		}
+		cfg = loaded
+	}
+	if err := cfg.Validate(); err != nil {
+		fatal(err)
+	}
+
+	opts := rescq.Options{
+		Scheduler:   rescq.SchedulerKind(cfg.Scheduler),
+		Distance:    cfg.Distance,
+		PhysError:   cfg.PhysError,
+		K:           cfg.K,
+		TauMST:      cfg.TauMST,
+		Compression: cfg.Compression,
+		Runs:        cfg.NumberOfRuns,
+		Seed:        cfg.Seed,
+	}
+
+	var (
+		sum rescq.Summary
+		err error
+	)
+	switch {
+	case cfg.Benchmark != "":
+		sum, err = rescq.Run(cfg.Benchmark, opts)
+	default:
+		data, rerr := os.ReadFile(cfg.CircuitFile)
+		if rerr != nil {
+			fatal(rerr)
+		}
+		sum, err = rescq.RunCircuitText(cfg.CircuitFile, string(data), opts)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("benchmark=%s scheduler=%s d=%d p=%g k=%d compression=%.0f%% runs=%d\n",
+		sum.Benchmark, sum.Scheduler, cfg.Distance, cfg.PhysError, cfg.K,
+		100*cfg.Compression, len(sum.Runs))
+	for _, r := range sum.Runs {
+		fmt.Printf("seed=%-4d cycles=%-8d idle=%.3f preps=%-6d injections=%-6d edge_rotations=%d\n",
+			r.Seed, r.TotalCycles, r.MeanIdleFraction, r.PrepsStarted, r.InjectionsCount, r.EdgeRotations)
+	}
+	fmt.Printf("mean=%.1f min=%d max=%d std=%.1f mean_idle=%.3f\n",
+		sum.MeanCycles, sum.MinCycles, sum.MaxCycles, sum.StdCycles, sum.MeanIdle)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rescq-sim:", err)
+	os.Exit(1)
+}

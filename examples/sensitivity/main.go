@@ -1,0 +1,68 @@
+// Sensitivity: the paper's section 5.2 studies, on one representative
+// benchmark — how execution time responds to the code distance d, the
+// physical error rate p, and RESCQ's MST recomputation period k.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	rescq "repro"
+)
+
+const bench = "qft_n18"
+
+func main() {
+	fmt.Printf("Sensitivity studies on %s (3 seeds per point)\n\n", bench)
+	distanceSweep()
+	errorRateSweep()
+	kSweep()
+}
+
+// distanceSweep mirrors Figure 11: cycles improve with d because each
+// lattice-surgery cycle packs d measurement rounds, so RUS preparation
+// completes in fewer cycles; RESCQ is nearly flat because preparation is
+// parallelized away from the critical path.
+func distanceSweep() {
+	fmt.Println("Code distance sweep (p=1e-4):")
+	fmt.Printf("  %-10s %8s %8s\n", "d", "greedy", "rescq")
+	for _, d := range []int{5, 7, 9, 11, 13} {
+		g := mustRun(rescq.Options{Scheduler: rescq.Greedy, Distance: d})
+		r := mustRun(rescq.Options{Scheduler: rescq.RESCQ, Distance: d})
+		fmt.Printf("  %-10d %8.0f %8.0f\n", d, g.MeanCycles, r.MeanCycles)
+	}
+	fmt.Println()
+}
+
+// errorRateSweep mirrors Figure 12: all schedulers are comparatively
+// insensitive to p in this regime.
+func errorRateSweep() {
+	fmt.Println("Physical error rate sweep (d=7):")
+	fmt.Printf("  %-10s %8s %8s\n", "p", "greedy", "rescq")
+	for _, p := range []float64{1e-3, 3e-4, 1e-4, 3e-5, 1e-5} {
+		g := mustRun(rescq.Options{Scheduler: rescq.Greedy, PhysError: p})
+		r := mustRun(rescq.Options{Scheduler: rescq.RESCQ, PhysError: p})
+		fmt.Printf("  %-10.0e %8.0f %8.0f\n", p, g.MeanCycles, r.MeanCycles)
+	}
+	fmt.Println()
+}
+
+// kSweep mirrors Figure 13: recomputing the MST less often (larger k)
+// costs almost nothing, because load balancing via activity weights keeps
+// working across stale windows.
+func kSweep() {
+	fmt.Println("RESCQ MST recomputation period sweep (d=7, p=1e-4):")
+	fmt.Printf("  %-10s %8s\n", "k", "rescq")
+	for _, k := range []int{25, 50, 100, 200} {
+		r := mustRun(rescq.Options{Scheduler: rescq.RESCQ, K: k})
+		fmt.Printf("  %-10d %8.0f\n", k, r.MeanCycles)
+	}
+}
+
+func mustRun(opts rescq.Options) rescq.Summary {
+	sum, err := rescq.Run(bench, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return sum
+}

@@ -1,0 +1,37 @@
+// Tradeoff: the paper's motivation in numbers (Figure 3 and Appendix A.2)
+// — why continuous-angle architectures beat Clifford+T synthesis for
+// near-term fault-tolerant machines. Uses the experiment drivers through
+// the public Experiment entry point.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	rescq "repro"
+)
+
+func main() {
+	// Appendix A.2: per-rotation cycle cost, continuous-angle injection
+	// vs a synthesized T-gate sequence.
+	a2, err := rescq.Experiment("appendixA2", true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(a2)
+
+	// Figure 3: how many rotations fit in a program before the target
+	// fidelity is lost, per compilation strategy.
+	fig3, err := rescq.Experiment("fig3", true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(fig3)
+
+	// Figure 16: the preparation model behind the simulator.
+	fig16, err := rescq.Experiment("fig16", true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(fig16)
+}

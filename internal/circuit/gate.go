@@ -1,0 +1,130 @@
+package circuit
+
+import "fmt"
+
+// Kind identifies a logical gate in the Clifford+Rz basis. The schedulers
+// only execute Rz, CNOT and H on the lattice; Pauli and phase gates are
+// tracked in the classical Clifford frame at zero lattice-surgery cost, and
+// T/Tdg/S/Sdg are canonicalized into Rz rotations when a circuit is built.
+type Kind uint8
+
+const (
+	// KindRz is an arbitrary-angle Z rotation executed by |m_theta>
+	// injection (possibly repeated, per the RUS protocol).
+	KindRz Kind = iota
+	// KindCNOT is a two-qubit CNOT executed by lattice surgery.
+	KindCNOT
+	// KindH is a Hadamard, executed by patch deformation using one
+	// neighbouring ancilla tile.
+	KindH
+	// KindX is a Pauli X, tracked in the Pauli frame (zero cycles).
+	KindX
+	// KindZ is a Pauli Z, tracked in the Pauli frame (zero cycles).
+	KindZ
+	// KindS is the Clifford phase gate, tracked in the Clifford frame.
+	KindS
+	// KindSdg is the inverse Clifford phase gate.
+	KindSdg
+	// KindT is the T gate, an alias for Rz(pi/4).
+	KindT
+	// KindTdg is the inverse T gate, an alias for Rz(-pi/4).
+	KindTdg
+)
+
+var kindNames = [...]string{
+	KindRz:   "rz",
+	KindCNOT: "cx",
+	KindH:    "h",
+	KindX:    "x",
+	KindZ:    "z",
+	KindS:    "s",
+	KindSdg:  "sdg",
+	KindT:    "t",
+	KindTdg:  "tdg",
+}
+
+// String returns the lowercase OpenQASM-style mnemonic for the kind.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// KindFromName maps a mnemonic (as used in the artifact circuit files) back
+// to a Kind. It accepts both "cx" and "cnot" for CNOT.
+func KindFromName(name string) (Kind, bool) {
+	switch name {
+	case "rz":
+		return KindRz, true
+	case "cx", "cnot":
+		return KindCNOT, true
+	case "h":
+		return KindH, true
+	case "x":
+		return KindX, true
+	case "z":
+		return KindZ, true
+	case "s":
+		return KindS, true
+	case "sdg":
+		return KindSdg, true
+	case "t":
+		return KindT, true
+	case "tdg":
+		return KindTdg, true
+	}
+	return 0, false
+}
+
+// NumQubits returns the arity of the gate kind (1 or 2).
+func (k Kind) NumQubits() int {
+	if k == KindCNOT {
+		return 2
+	}
+	return 1
+}
+
+// Gate is a single logical operation in a circuit. For one-qubit gates only
+// Qubits[0] is meaningful; for CNOT, Qubits[0] is the control and Qubits[1]
+// the target. ID is the gate's index within its circuit.
+type Gate struct {
+	ID     int
+	Kind   Kind
+	Qubits [2]int
+	Angle  Angle // meaningful only for KindRz
+}
+
+// Control returns the control qubit of a CNOT (Qubits[0]).
+func (g Gate) Control() int { return g.Qubits[0] }
+
+// Target returns the target qubit of a CNOT (Qubits[1]).
+func (g Gate) Target() int { return g.Qubits[1] }
+
+// Qubit returns the sole operand of a one-qubit gate.
+func (g Gate) Qubit() int { return g.Qubits[0] }
+
+// IsFrameOnly reports whether the gate is absorbed into the classical
+// Pauli/Clifford frame and costs zero lattice-surgery cycles. Rz gates whose
+// angle is a multiple of pi/2 are frame-only as well.
+func (g Gate) IsFrameOnly() bool {
+	switch g.Kind {
+	case KindX, KindZ, KindS, KindSdg:
+		return true
+	case KindRz:
+		return g.Angle.IsClifford()
+	}
+	return false
+}
+
+// String renders the gate in the artifact's one-line text form.
+func (g Gate) String() string {
+	switch g.Kind {
+	case KindCNOT:
+		return fmt.Sprintf("cx %d %d", g.Qubits[0], g.Qubits[1])
+	case KindRz:
+		return fmt.Sprintf("rz %d %s", g.Qubits[0], g.Angle)
+	default:
+		return fmt.Sprintf("%s %d", g.Kind, g.Qubits[0])
+	}
+}

@@ -1,0 +1,224 @@
+package circuit
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The artifact's circuit text format (paper section B.7): the total number
+// of gates on the first line, then one gate per line as
+//
+//	<gate name> <qubit(s)> [<rotation angle for rz gates>]
+//
+// This parser additionally accepts '#' comments, blank lines, and an
+// optional "qubits N" directive before the count line (the writer always
+// emits it; without it the qubit count is inferred as max index + 1).
+// Rotation angles may be written as rational multiples of pi ("pi/4",
+// "3pi/8", "-pi/2", "5/8" meaning 5pi/8) or as decimal radians ("0.785398").
+
+// maxParseDen bounds the rational approximation of decimal angles.
+const maxParseDen = 1 << 20
+
+// Parse reads a circuit from r in the artifact text format.
+func Parse(name string, r io.Reader) (*Circuit, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<22)
+
+	var (
+		lineNo    int
+		count     = -1
+		numQubits = -1
+		gates     []rawGate
+		maxQubit  = -1
+	)
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch {
+		case fields[0] == "qubits":
+			if len(fields) != 2 {
+				return nil, parseErr(lineNo, "malformed qubits directive")
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n < 1 {
+				return nil, parseErr(lineNo, "invalid qubit count %q", fields[1])
+			}
+			numQubits = n
+		case count < 0:
+			n, err := strconv.Atoi(fields[0])
+			if err != nil || n < 0 || len(fields) != 1 {
+				return nil, parseErr(lineNo, "expected gate count, got %q", line)
+			}
+			count = n
+		default:
+			g, err := parseGateLine(fields, lineNo)
+			if err != nil {
+				return nil, err
+			}
+			gates = append(gates, g)
+			for i := 0; i < g.kind.NumQubits(); i++ {
+				if g.qubits[i] > maxQubit {
+					maxQubit = g.qubits[i]
+				}
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("circuit: read: %w", err)
+	}
+	if count < 0 {
+		return nil, fmt.Errorf("circuit: %s: missing gate count line", name)
+	}
+	if len(gates) != count {
+		return nil, fmt.Errorf("circuit: %s: header declares %d gates, found %d", name, count, len(gates))
+	}
+	if numQubits < 0 {
+		numQubits = maxQubit + 1
+	}
+	if numQubits < maxQubit+1 {
+		return nil, fmt.Errorf("circuit: %s: qubit index %d exceeds declared count %d", name, maxQubit, numQubits)
+	}
+	if numQubits < 1 {
+		return nil, fmt.Errorf("circuit: %s: empty circuit with no qubit count", name)
+	}
+	c := New(name, numQubits)
+	for _, g := range gates {
+		c.append(g.kind, g.qubits[0], g.qubits[1], g.angle)
+	}
+	return c, nil
+}
+
+// ParseString is Parse over an in-memory string.
+func ParseString(name, text string) (*Circuit, error) {
+	return Parse(name, strings.NewReader(text))
+}
+
+type rawGate struct {
+	kind   Kind
+	qubits [2]int
+	angle  Angle
+}
+
+func parseGateLine(fields []string, lineNo int) (rawGate, error) {
+	var g rawGate
+	kind, ok := KindFromName(fields[0])
+	if !ok {
+		return g, parseErr(lineNo, "unknown gate %q", fields[0])
+	}
+	g.kind = kind
+	nq := kind.NumQubits()
+	wantAngle := kind == KindRz
+	wantFields := 1 + nq
+	if wantAngle {
+		wantFields++
+	}
+	if len(fields) != wantFields {
+		return g, parseErr(lineNo, "gate %s expects %d fields, got %d", fields[0], wantFields, len(fields))
+	}
+	for i := 0; i < nq; i++ {
+		q, err := strconv.Atoi(fields[1+i])
+		if err != nil || q < 0 {
+			return g, parseErr(lineNo, "invalid qubit %q", fields[1+i])
+		}
+		g.qubits[i] = q
+	}
+	if wantAngle {
+		a, err := ParseAngle(fields[1+nq])
+		if err != nil {
+			return g, parseErr(lineNo, "%v", err)
+		}
+		g.angle = a
+	}
+	return g, nil
+}
+
+// ParseAngle parses a rotation angle token: "pi/4", "3pi/8", "-pi", "2pi",
+// a bare rational "n/d" (interpreted as n*pi/d), or decimal radians.
+func ParseAngle(tok string) (Angle, error) {
+	s := tok
+	neg := false
+	if strings.HasPrefix(s, "-") {
+		neg, s = true, s[1:]
+	}
+	if i := strings.Index(s, "pi"); i >= 0 {
+		numStr, denStr := s[:i], s[i+2:]
+		var num int64 = 1
+		if numStr != "" {
+			n, err := strconv.ParseInt(numStr, 10, 64)
+			if err != nil {
+				return Zero, fmt.Errorf("invalid angle %q", tok)
+			}
+			num = n
+		}
+		var den int64 = 1
+		if denStr != "" {
+			if !strings.HasPrefix(denStr, "/") {
+				return Zero, fmt.Errorf("invalid angle %q", tok)
+			}
+			d, err := strconv.ParseInt(denStr[1:], 10, 64)
+			if err != nil || d == 0 {
+				return Zero, fmt.Errorf("invalid angle %q", tok)
+			}
+			den = d
+		}
+		if neg {
+			num = -num
+		}
+		return NewAngle(num, den), nil
+	}
+	if i := strings.IndexByte(s, '/'); i >= 0 {
+		n, err1 := strconv.ParseInt(s[:i], 10, 64)
+		d, err2 := strconv.ParseInt(s[i+1:], 10, 64)
+		if err1 != nil || err2 != nil || d == 0 {
+			return Zero, fmt.Errorf("invalid angle %q", tok)
+		}
+		if neg {
+			n = -n
+		}
+		return NewAngle(n, d), nil
+	}
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return Zero, fmt.Errorf("invalid angle %q", tok)
+	}
+	if neg {
+		f = -f
+	}
+	return ApproxAngle(f, maxParseDen), nil
+}
+
+// Write emits c to w in the artifact text format (with the qubits
+// directive so the round trip preserves the qubit count exactly).
+func Write(w io.Writer, c *Circuit) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# %s\n", c.Name)
+	fmt.Fprintf(bw, "qubits %d\n", c.NumQubits)
+	fmt.Fprintf(bw, "%d\n", len(c.Gates))
+	for _, g := range c.Gates {
+		fmt.Fprintln(bw, g.String())
+	}
+	return bw.Flush()
+}
+
+// Format renders c as a string in the artifact text format.
+func Format(c *Circuit) string {
+	var sb strings.Builder
+	if err := Write(&sb, c); err != nil {
+		panic(err) // strings.Builder never fails
+	}
+	return sb.String()
+}
+
+func parseErr(line int, format string, args ...any) error {
+	return fmt.Errorf("circuit: line %d: %s", line, fmt.Sprintf(format, args...))
+}

@@ -1,0 +1,167 @@
+package circuit
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+const sampleText = `# sample circuit
+qubits 3
+5
+h 0
+cx 0 1
+rz 1 pi/4
+rz 2 3pi/8
+cx 1 2
+`
+
+func TestParseSample(t *testing.T) {
+	c, err := ParseString("sample", sampleText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumQubits != 3 {
+		t.Errorf("NumQubits = %d, want 3", c.NumQubits)
+	}
+	if len(c.Gates) != 5 {
+		t.Fatalf("gates = %d, want 5", len(c.Gates))
+	}
+	if !c.Gates[2].Angle.Equal(NewAngle(1, 4)) {
+		t.Errorf("gate 2 angle = %v, want pi/4", c.Gates[2].Angle)
+	}
+	if !c.Gates[3].Angle.Equal(NewAngle(3, 8)) {
+		t.Errorf("gate 3 angle = %v, want 3pi/8", c.Gates[3].Angle)
+	}
+}
+
+func TestParseWithoutQubitsDirective(t *testing.T) {
+	c, err := ParseString("x", "2\ncx 0 4\nh 2\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumQubits != 5 {
+		t.Errorf("inferred NumQubits = %d, want 5", c.NumQubits)
+	}
+}
+
+func TestParseDecimalRadians(t *testing.T) {
+	c, err := ParseString("x", "1\nrz 0 0.7853981633974483\n") // pi/4
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Gates[0].Angle.Equal(NewAngle(1, 4)) {
+		t.Errorf("angle = %v, want pi/4", c.Gates[0].Angle)
+	}
+}
+
+func TestParseNegativeAngle(t *testing.T) {
+	c, err := ParseString("x", "1\nrz 0 -pi/4\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Gates[0].Angle.Equal(NewAngle(-1, 4)) {
+		t.Errorf("angle = %v, want 7pi/4", c.Gates[0].Angle)
+	}
+}
+
+func TestParseBareRational(t *testing.T) {
+	c, err := ParseString("x", "1\nrz 0 5/8\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Gates[0].Angle.Equal(NewAngle(5, 8)) {
+		t.Errorf("angle = %v, want 5pi/8", c.Gates[0].Angle)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"count mismatch":  "3\nh 0\n",
+		"unknown gate":    "1\nfoo 0\n",
+		"missing angle":   "1\nrz 0\n",
+		"cnot arity":      "1\ncx 0\n",
+		"bad qubit":       "1\nh x\n",
+		"no count":        "h 0\n",
+		"declared small":  "qubits 2\n1\nh 5\n",
+		"bad angle token": "1\nrz 0 pie\n",
+	}
+	for name, text := range cases {
+		if _, err := ParseString(name, text); err == nil {
+			t.Errorf("%s: expected parse error for %q", name, text)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	c := New("rt", 4)
+	c.H(0)
+	c.CNOT(0, 3)
+	c.Rz(2, NewAngle(5, 6))
+	c.Rz(1, NewAngle(1, 4))
+	c.X(3)
+
+	text := Format(c)
+	back, err := Parse("rt", strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumQubits != c.NumQubits || len(back.Gates) != len(c.Gates) {
+		t.Fatalf("round trip changed shape: %d/%d vs %d/%d",
+			back.NumQubits, len(back.Gates), c.NumQubits, len(c.Gates))
+	}
+	for i := range c.Gates {
+		a, b := c.Gates[i], back.Gates[i]
+		if a.Kind != b.Kind || a.Qubits != b.Qubits || !a.Angle.Equal(b.Angle) {
+			t.Errorf("gate %d: %+v != %+v", i, a, b)
+		}
+	}
+}
+
+// Property: Format then Parse is the identity on random circuits.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := randomCircuit(r, 15, 100)
+		back, err := ParseString(c.Name, Format(c))
+		if err != nil {
+			return false
+		}
+		if back.NumQubits != c.NumQubits || len(back.Gates) != len(c.Gates) {
+			return false
+		}
+		for i := range c.Gates {
+			a, b := c.Gates[i], back.Gates[i]
+			if a.Kind != b.Kind || a.Qubits != b.Qubits || !a.Angle.Equal(b.Angle) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseAngleTokens(t *testing.T) {
+	cases := map[string]Angle{
+		"pi":    NewAngle(1, 1),
+		"2pi":   Zero,
+		"pi/2":  NewAngle(1, 2),
+		"-pi/2": NewAngle(3, 2),
+		"3pi/8": NewAngle(3, 8),
+		"0":     Zero,
+		"0.0":   Zero,
+	}
+	for tok, want := range cases {
+		got, err := ParseAngle(tok)
+		if err != nil {
+			t.Errorf("ParseAngle(%q): %v", tok, err)
+			continue
+		}
+		if !got.Equal(want) {
+			t.Errorf("ParseAngle(%q) = %v, want %v", tok, got, want)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+// Package config reads the JSON experiment configurations consumed by
+// cmd/rescq-sim, mirroring the artifact's config-file workflow: one file
+// describes the benchmark (or an external circuit file), the scheduler and
+// its parameters, the code point (d, p), the grid compression, and the
+// number of seeded runs.
+package config
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Config is one simulation configuration.
+type Config struct {
+	// Benchmark names a Table 3 circuit (e.g. "gcm_n13"). Mutually
+	// exclusive with CircuitFile.
+	Benchmark string `json:"benchmark,omitempty"`
+	// CircuitFile points at a circuit in the artifact text format.
+	CircuitFile string `json:"circuit_file,omitempty"`
+	// Scheduler is "greedy", "autobraid" or "rescq" (default).
+	Scheduler string `json:"scheduler,omitempty"`
+	// Distance is the surface code distance (default 7).
+	Distance int `json:"distance,omitempty"`
+	// PhysError is the physical error rate (default 1e-4).
+	PhysError float64 `json:"phys_error,omitempty"`
+	// K is RESCQ's MST recomputation period (default 25).
+	K int `json:"k,omitempty"`
+	// TauMST is RESCQ's MST latency in cycles (default 100).
+	TauMST int `json:"tau_mst,omitempty"`
+	// Compression in [0,1] (default 0).
+	Compression float64 `json:"compression,omitempty"`
+	// NumberOfRuns is the seeded-run count (default 10, the artifact's
+	// reduced default).
+	NumberOfRuns int `json:"number_of_runs,omitempty"`
+	// Seed is the base seed (default 1).
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// Load reads and validates a config file.
+func Load(path string) (Config, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Config{}, fmt.Errorf("config: %w", err)
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// Read parses a config from r and validates it.
+func Read(r io.Reader) (Config, error) {
+	var c Config
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&c); err != nil {
+		return Config{}, fmt.Errorf("config: parse: %w", err)
+	}
+	c = c.WithDefaults()
+	return c, c.Validate()
+}
+
+// WithDefaults fills unset fields.
+func (c Config) WithDefaults() Config {
+	if c.Scheduler == "" {
+		c.Scheduler = "rescq"
+	}
+	if c.Distance == 0 {
+		c.Distance = 7
+	}
+	if c.PhysError == 0 {
+		c.PhysError = 1e-4
+	}
+	if c.K == 0 {
+		c.K = 25
+	}
+	if c.TauMST == 0 {
+		c.TauMST = 100
+	}
+	if c.NumberOfRuns == 0 {
+		c.NumberOfRuns = 10
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Benchmark == "" && c.CircuitFile == "" {
+		return fmt.Errorf("config: need benchmark or circuit_file")
+	}
+	if c.Benchmark != "" && c.CircuitFile != "" {
+		return fmt.Errorf("config: benchmark and circuit_file are mutually exclusive")
+	}
+	switch c.Scheduler {
+	case "greedy", "autobraid", "rescq":
+	default:
+		return fmt.Errorf("config: unknown scheduler %q", c.Scheduler)
+	}
+	if c.Distance < 3 || c.Distance%2 == 0 {
+		return fmt.Errorf("config: distance %d must be odd and >= 3", c.Distance)
+	}
+	if c.PhysError <= 0 || c.PhysError >= 0.5 {
+		return fmt.Errorf("config: phys_error %v out of range", c.PhysError)
+	}
+	if c.Compression < 0 || c.Compression > 1 {
+		return fmt.Errorf("config: compression %v out of [0,1]", c.Compression)
+	}
+	if c.NumberOfRuns < 1 {
+		return fmt.Errorf("config: number_of_runs must be positive")
+	}
+	if c.K < 0 || c.TauMST < 0 {
+		return fmt.Errorf("config: k and tau_mst must be non-negative")
+	}
+	return nil
+}

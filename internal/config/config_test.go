@@ -1,0 +1,77 @@
+package config
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestReadMinimal(t *testing.T) {
+	c, err := Read(strings.NewReader(`{"benchmark":"gcm_n13"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Scheduler != "rescq" || c.Distance != 7 || c.PhysError != 1e-4 ||
+		c.K != 25 || c.TauMST != 100 || c.NumberOfRuns != 10 || c.Seed != 1 {
+		t.Errorf("defaults not applied: %+v", c)
+	}
+}
+
+func TestReadFull(t *testing.T) {
+	text := `{
+		"benchmark": "dnn_n16",
+		"scheduler": "autobraid",
+		"distance": 9,
+		"phys_error": 0.001,
+		"k": 100,
+		"tau_mst": 50,
+		"compression": 0.5,
+		"number_of_runs": 4,
+		"seed": 42
+	}`
+	c, err := Read(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Distance != 9 || c.K != 100 || c.Compression != 0.5 || c.Seed != 42 {
+		t.Errorf("parsed config wrong: %+v", c)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := map[string]string{
+		"no target":       `{}`,
+		"both targets":    `{"benchmark":"x","circuit_file":"y"}`,
+		"bad scheduler":   `{"benchmark":"x","scheduler":"magic"}`,
+		"even distance":   `{"benchmark":"x","distance":8}`,
+		"bad error rate":  `{"benchmark":"x","phys_error":0.7}`,
+		"bad compression": `{"benchmark":"x","compression":2}`,
+		"negative runs":   `{"benchmark":"x","number_of_runs":-1}`,
+		"unknown field":   `{"benchmark":"x","wat":1}`,
+		"not json":        `benchmark: x`,
+	}
+	for name, text := range cases {
+		if _, err := Read(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: expected error for %s", name, text)
+		}
+	}
+}
+
+func TestLoadFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "c.json")
+	if err := os.WriteFile(path, []byte(`{"benchmark":"vqe_n13","scheduler":"greedy"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Benchmark != "vqe_n13" || c.Scheduler != "greedy" {
+		t.Errorf("loaded config wrong: %+v", c)
+	}
+	if _, err := Load(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file should error")
+	}
+}

@@ -1,0 +1,228 @@
+// Package core implements RESCQ, the paper's realtime scheduler for
+// continuous-angle QEC architectures. RESCQ is built on the two data
+// structures the name abbreviates (paper section 4):
+//
+//   - a Rescheduled, activity-weighted minimum spanning tree over the
+//     ancilla network, recomputed every K cycles with a modeled
+//     computation latency TauMST — so routing always uses a slightly
+//     stale tree, exactly like Figure 8's pipeline — and used to pick
+//     minimax-bottleneck CNOT paths (Algorithm 1);
+//   - a Queue per ancilla tile holding the gates that reserved it, with
+//     per-gate metadata (Table 2). A gate acts on an ancilla only while
+//     it is at the head of that ancilla's queue, which makes resource
+//     allocation race-free and ordered by seniority.
+//
+// Rz gates are enqueued preemptively on every viable preparation ancilla
+// (Z-edge neighbours for ZZ injection, diagonal neighbours routed through
+// an X-edge helper for CNOT injection); all of them prepare |m_theta> in
+// parallel, and the moment one preparation succeeds the others are
+// rewritten in place to the doubled correction angle so a failed injection
+// can retry immediately (Figure 1e / Figure 7).
+package core
+
+import (
+	"sort"
+
+	"repro/internal/circuit"
+	"repro/internal/sim"
+)
+
+// Config tunes RESCQ's classical-control model.
+type Config struct {
+	// K is the MST recomputation period in lattice-surgery cycles
+	// (paper sweeps 25, 50, 100, 200). Default 25.
+	K int
+	// TauMST is the modeled MST computation latency in cycles: a tree
+	// snapshotted at cycle t becomes usable at t+TauMST (paper: ~100).
+	TauMST int
+	// ActivityFloor is added to every edge weight so that zero-activity
+	// regions still break ties deterministically. Default 0.
+	ActivityFloor float64
+
+	// The remaining fields are ablation switches used by the ablation
+	// study (they each disable one of RESCQ's mechanisms).
+
+	// MaxParallelPreps overrides how many ancillas one Rz prepares on
+	// simultaneously; 0 means the default (2), 1 disables parallel
+	// preparation (the baseline protocol's single attempt).
+	MaxParallelPreps int
+	// DisableEagerPrep stops candidates from preparing the doubled
+	// correction state while an injection is in flight.
+	DisableEagerPrep bool
+	// DisableMSTRouting replaces Algorithm 1's MST paths with plain BFS
+	// shortest paths (no activity awareness).
+	DisableMSTRouting bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.K <= 0 {
+		c.K = 25
+	}
+	if c.TauMST < 0 {
+		c.TauMST = 0
+	} else if c.TauMST == 0 {
+		c.TauMST = 100
+	}
+	if c.MaxParallelPreps <= 0 {
+		c.MaxParallelPreps = defaultMaxParallelPreps
+	}
+	return c
+}
+
+// DefaultConfig returns the paper's operating point: K=25, TauMST=100.
+func DefaultConfig() Config { return Config{}.withDefaults() }
+
+// New returns a RESCQ scheduler instance.
+func New(cfg Config) sim.Scheduler {
+	return &Scheduler{cfg: cfg.withDefaults()}
+}
+
+// Scheduler is the RESCQ realtime scheduler. It implements sim.Scheduler.
+type Scheduler struct {
+	cfg Config
+
+	queues *queueSet
+	mst    *mstPipeline
+
+	gates   []*gateState
+	byNode  map[int]*gateState // only live gates
+	live    []int              // live node ids in enqueue order
+	pending []int              // ready nodes awaiting planning/enqueue
+	staged  []bool             // node already staged for enqueue (dedup guard)
+}
+
+// Name implements sim.Scheduler.
+func (s *Scheduler) Name() string { return "rescq" }
+
+// Init implements sim.Scheduler.
+func (s *Scheduler) Init(st *sim.State) error {
+	dag := st.DAG()
+	s.queues = newQueueSet(st.Grid().NumAncilla())
+	s.mst = newMSTPipeline(st, s.cfg)
+	s.gates = make([]*gateState, dag.Len())
+	s.byNode = make(map[int]*gateState)
+	s.staged = make([]bool, dag.Len())
+	for n := 0; n < dag.Len(); n++ {
+		if st.Status(n) == sim.GateReady {
+			s.staged[n] = true
+			s.pending = append(s.pending, n)
+		}
+	}
+	return nil
+}
+
+// OnCycle implements sim.Scheduler.
+func (s *Scheduler) OnCycle(st *sim.State) {
+	s.mst.tick(st)
+	s.enqueuePending(st)
+	s.drive(st)
+}
+
+// enqueuePending plans newly ready gates and installs them in the ancilla
+// queues, highest critical-path height first (Figure 7 caption).
+func (s *Scheduler) enqueuePending(st *sim.State) {
+	if len(s.pending) == 0 {
+		return
+	}
+	dag := st.DAG()
+	sort.Slice(s.pending, func(a, b int) bool {
+		ha, hb := dag.Height(s.pending[a]), dag.Height(s.pending[b])
+		if ha != hb {
+			return ha > hb
+		}
+		return s.pending[a] < s.pending[b]
+	})
+	for _, n := range s.pending {
+		gs := s.plan(st, n)
+		s.gates[n] = gs
+		s.byNode[n] = gs
+		s.live = append(s.live, n)
+		for _, anc := range gs.ancs {
+			s.queues.enqueue(anc, n)
+		}
+	}
+	s.pending = s.pending[:0]
+}
+
+// drive advances every live gate's state machine by one scheduling step.
+func (s *Scheduler) drive(st *sim.State) {
+	w := 0
+	for _, n := range s.live {
+		gs := s.byNode[n]
+		if gs == nil || gs.done {
+			continue // completed; compact away
+		}
+		s.live[w] = n
+		w++
+		switch gs.kind {
+		case circuit.KindCNOT:
+			s.driveCNOT(st, gs)
+		case circuit.KindRz:
+			s.driveRz(st, gs)
+		case circuit.KindH:
+			s.driveH(st, gs)
+		}
+	}
+	s.live = s.live[:w]
+}
+
+// OnOpDone implements sim.Scheduler.
+func (s *Scheduler) OnOpDone(st *sim.State, op *sim.Op, success bool) {
+	gs := s.byNode[op.Node]
+	if gs == nil || gs.done {
+		return
+	}
+	switch op.Kind {
+	case sim.OpCNOT:
+		s.complete(st, gs)
+	case sim.OpHadamard:
+		s.complete(st, gs)
+	case sim.OpEdgeRotation:
+		s.rotationDone(st, gs, op)
+	case sim.OpPrep:
+		if gs.kind == circuit.KindRz {
+			s.tryInject(st, gs)
+		}
+	case sim.OpInjection:
+		s.injectionDone(st, gs, success)
+	}
+}
+
+// complete finishes a gate: release queue slots, drop any outstanding
+// preparations, report completion, and stage newly-ready successors.
+func (s *Scheduler) complete(st *sim.State, gs *gateState) {
+	gs.done = true
+	for _, anc := range gs.ancs {
+		s.queues.remove(anc, gs.node)
+	}
+	if gs.kind == circuit.KindRz {
+		s.dropPreps(st, gs, circuit.Angle{}, true)
+	}
+	st.CompleteGate(gs.node)
+	delete(s.byNode, gs.node)
+	for _, succ := range st.DAG().Succ(gs.node) {
+		if st.Status(succ) == sim.GateReady && !s.staged[succ] {
+			s.staged[succ] = true
+			s.pending = append(s.pending, succ)
+		}
+	}
+}
+
+// dropPreps cancels in-progress and discards parked preparations belonging
+// to gs. When all is false, preparations whose angle equals keep survive.
+func (s *Scheduler) dropPreps(st *sim.State, gs *gateState, keep circuit.Angle, all bool) {
+	for _, cand := range gs.cands {
+		op := st.TileOp(cand.prep)
+		if op == nil || op.Kind != sim.OpPrep || op.Node != gs.node {
+			continue
+		}
+		if !all && op.Angle.Equal(keep) {
+			continue
+		}
+		if op.Prepared() {
+			_ = st.DiscardPrepared(cand.prep)
+		} else {
+			_ = st.CancelPrep(cand.prep)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/lattice"
+	"repro/internal/qbench"
+	"repro/internal/sim"
+)
+
+func TestDebugQAOAFSwap(t *testing.T) {
+	spec, _ := qbench.ByName("qaoafswap_n15")
+	c := spec.Circuit()
+	g := lattice.NewSTARGrid(c.NumQubits)
+	dag := circuit.NewDAG(c)
+	scfg := sim.Config{Distance: 7, PhysError: 1e-4, StallLimit: 2000}
+	s := New(DefaultConfig()).(*Scheduler)
+	eng := sim.NewEngine(g, dag, scfg, 0, s)
+	_, err := eng.Run()
+	if err == nil {
+		t.Skip("no stall")
+	}
+	st := eng.State()
+	fmt.Println("ERR:", err)
+	count := 0
+	for _, n := range s.live {
+		gs := s.byNode[n]
+		if gs == nil || gs.done {
+			continue
+		}
+		count++
+		if count > 8 {
+			break
+		}
+		gate := dag.Gate(n)
+		fmt.Printf("node %d %v status=%v gs={rotC:%v rotT:%v rotCBusy:%v rotTBusy:%v opBusy:%v inj:%v needRot:%v angle:%v path:%v}\n",
+			n, gate, st.Status(n), gs.rotC, gs.rotT, gs.rotCBusy, gs.rotTBusy, gs.opBusy, gs.injecting, gs.needRotate, gs.angle, gs.path)
+		if gs.kind == circuit.KindCNOT {
+			for _, tc := range gs.path {
+				id := st.Grid().AncillaID(tc)
+				fmt.Printf("   tile %v free=%v head=%d queue=%v op=%v\n", tc, st.TileFree(tc), s.queues.head(id), s.queues.q[id], st.TileOp(tc))
+			}
+			fmt.Printf("   qubits free: c=%v t=%v orientC=%v orientT=%v\n", st.QubitFree(gs.control), st.QubitFree(gs.target), st.Grid().Orientation(gs.control), st.Grid().Orientation(gs.target))
+		}
+		if gs.kind == circuit.KindRz {
+			fmt.Printf("   qubit %d free=%v cands=%v\n", gs.q, st.QubitFree(gs.q), gs.cands)
+			for _, cand := range gs.cands {
+				id := st.Grid().AncillaID(cand.prep)
+				fmt.Printf("   cand prep %v free=%v head=%d op=%v\n", cand.prep, st.TileFree(cand.prep), s.queues.head(id), st.TileOp(cand.prep))
+			}
+		}
+	}
+}

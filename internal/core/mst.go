@@ -1,0 +1,91 @@
+package core
+
+import (
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+// mstPipeline models the asynchronous MST recomputation of paper Figure 8.
+// Every K cycles a computation starts from a snapshot of the current
+// ancilla activity; its result becomes the routing tree TauMST cycles
+// later. Routing therefore always uses a tree whose weights are stale by
+// at least TauMST cycles — the paper shows (section 5.2.3) this staleness
+// is nearly free, which our Figure 13 reproduction confirms.
+type mstPipeline struct {
+	k, tau int
+	g      *graph.Graph
+	eps    []float64 // per-edge deterministic tie-break jitter
+	cur    *graph.Tree
+	jobs   []mstJob
+}
+
+type mstJob struct {
+	publishAt int
+	tree      *graph.Tree
+}
+
+// epsScale bounds the tie-break jitter well below one activity quantum
+// (1/ActivityWindow), so it only decides ties, never real differences.
+const epsScale = 0.004
+
+func newMSTPipeline(st *sim.State, cfg Config) *mstPipeline {
+	g := st.Grid().AncillaGraph(cfg.ActivityFloor)
+	m := &mstPipeline{
+		k:   cfg.K,
+		tau: cfg.TauMST,
+		g:   g,
+		eps: make([]float64, g.NumEdges()),
+	}
+	// Deterministic per-edge jitter: without it, the all-zero cold-start
+	// weights make Kruskal produce a degenerate comb-shaped tree whose
+	// paths between nearby tiles detour across the whole fabric. The
+	// jitter yields a balanced pseudo-random spanning tree instead.
+	for e := range m.eps {
+		m.eps[e] = epsScale * splitmixUnit(uint64(e))
+		g.SetWeight(e, m.eps[e])
+	}
+	// The initial tree is computed at compile time (all activities zero)
+	// and available from cycle one.
+	m.cur = graph.Kruskal(g)
+	return m
+}
+
+// splitmixUnit hashes x into [0, 1) with the splitmix64 finalizer.
+func splitmixUnit(x uint64) float64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11) / float64(1<<53)
+}
+
+// tick publishes any due computation and starts a new one every k cycles.
+func (m *mstPipeline) tick(st *sim.State) {
+	for len(m.jobs) > 0 && m.jobs[0].publishAt <= st.Cycle() {
+		m.cur = m.jobs[0].tree
+		m.jobs = m.jobs[1:]
+	}
+	if (st.Cycle()-1)%m.k == 0 {
+		m.snapshotWeights(st)
+		m.jobs = append(m.jobs, mstJob{
+			publishAt: st.Cycle() + m.tau,
+			tree:      graph.Kruskal(m.g),
+		})
+	}
+}
+
+// snapshotWeights sets every edge's weight to the max of its endpoints'
+// sliding-window activity (paper section 4.2 / Figure 9).
+func (m *mstPipeline) snapshotWeights(st *sim.State) {
+	for e := 0; e < m.g.NumEdges(); e++ {
+		ed := m.g.Edge(e)
+		w := st.Activity(ed.U)
+		if a := st.Activity(ed.V); a > w {
+			w = a
+		}
+		m.g.SetWeight(e, w+m.eps[e])
+	}
+}
+
+// current returns the latest published tree.
+func (m *mstPipeline) current() *graph.Tree { return m.cur }

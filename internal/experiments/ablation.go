@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/lattice"
+	"repro/internal/metrics"
+	"repro/internal/qbench"
+	"repro/internal/sim"
+)
+
+// AblationResult quantifies each RESCQ mechanism's contribution by
+// disabling it in isolation — the design-choice study DESIGN.md calls out.
+type AblationResult struct {
+	// Cycles[bench][variant] is the mean makespan.
+	Cycles map[string]map[string]float64
+	Text   string
+}
+
+// ablationVariants lists the studied configurations.
+var ablationVariants = []struct {
+	name string
+	cfg  core.Config
+}{
+	{"full", core.Config{}},
+	{"no-parallel-prep", core.Config{MaxParallelPreps: 1}},
+	{"no-eager-prep", core.Config{DisableEagerPrep: true}},
+	{"no-mst-routing", core.Config{DisableMSTRouting: true}},
+	{"stale-mst-k200", core.Config{K: 200}},
+}
+
+// Ablation runs every variant on the representative benchmarks.
+func Ablation(o Options) (AblationResult, error) {
+	o = o.withDefaults()
+	res := AblationResult{Cycles: map[string]map[string]float64{}}
+	header := []string{"Benchmark"}
+	for _, v := range ablationVariants {
+		header = append(header, v.name)
+	}
+	t := metrics.NewTable(header...)
+	for _, bench := range o.representative() {
+		spec, ok := qbench.ByName(bench)
+		if !ok {
+			return res, fmt.Errorf("experiments: unknown benchmark %q", bench)
+		}
+		circ := spec.Circuit()
+		res.Cycles[bench] = map[string]float64{}
+		cells := []any{bench}
+		for _, v := range ablationVariants {
+			var results []*sim.Result
+			for i := 0; i < o.Runs; i++ {
+				g := lattice.NewSTARGrid(circ.NumQubits)
+				r, err := sim.RunSeeded(g, circ, o.simConfig(), o.BaseSeed+int64(i), core.New(v.cfg))
+				if err != nil {
+					return res, err
+				}
+				results = append(results, r)
+			}
+			agg := sim.AggregateResults(results)
+			res.Cycles[bench][v.name] = agg.MeanCycles
+			cells = append(cells, fmt.Sprintf("%.0f", agg.MeanCycles))
+		}
+		t.Row(cells...)
+	}
+	res.Text = "Ablation: RESCQ mechanisms disabled one at a time (mean cycles)\n" + t.String()
+	return res, nil
+}

@@ -1,0 +1,173 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (section 5 and the appendix) from this repository's own
+// simulator, benchmark generators and schedulers. Each experiment returns
+// both structured data (asserted by tests and the benchmark harness) and a
+// rendered ASCII report (printed by cmd/rescq-bench).
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/lattice"
+	"repro/internal/qbench"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// Options configures an experiment run.
+type Options struct {
+	// Distance is the surface code distance (default 7, the paper's
+	// headline operating point).
+	Distance int
+	// PhysError is the physical error rate (default 1e-4).
+	PhysError float64
+	// Runs is the number of seeds per configuration (default 3).
+	Runs int
+	// BaseSeed offsets the seed sequence (default 1).
+	BaseSeed int64
+	// Quick restricts sweeps to the small benchmarks and one seed so the
+	// whole harness finishes in seconds; used by tests.
+	Quick bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Distance == 0 {
+		o.Distance = 7
+	}
+	if o.PhysError == 0 {
+		o.PhysError = 1e-4
+	}
+	if o.Runs == 0 {
+		o.Runs = 3
+	}
+	if o.BaseSeed == 0 {
+		o.BaseSeed = 1
+	}
+	if o.Quick && o.Runs > 2 {
+		o.Runs = 2
+	}
+	return o
+}
+
+func (o Options) simConfig() sim.Config {
+	return sim.Config{Distance: o.Distance, PhysError: o.PhysError}
+}
+
+// benchList returns the benchmarks an experiment sweeps: all of Table 3,
+// or the small subset in Quick mode.
+func (o Options) benchList() []string {
+	if o.Quick {
+		return []string{"vqe_n13", "qaoa_n15", "wstate_n27", "gcm_n13", "qft_n18", "hamsim_n25"}
+	}
+	return qbench.Names()
+}
+
+// representative returns the sensitivity-study benchmarks (section 5.2),
+// or a cheaper stand-in set in Quick mode.
+func (o Options) representative() []string {
+	if o.Quick {
+		return []string{"gcm_n13", "qft_n18"}
+	}
+	return qbench.Representative()
+}
+
+// SchedulerNames lists the evaluated schedulers in the paper's order.
+var SchedulerNames = []string{"greedy", "autobraid", "rescq"}
+
+// makeScheduler builds a fresh scheduler instance by name. The rescq name
+// accepts a recomputation period via k (<= 0 means the default 25).
+func makeScheduler(name string, k int) (sim.Scheduler, error) {
+	switch name {
+	case "greedy":
+		return sched.NewGreedy(), nil
+	case "autobraid":
+		return sched.NewAutoBraid(), nil
+	case "rescq":
+		return core.New(core.Config{K: k}), nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown scheduler %q", name)
+	}
+}
+
+// runConfig simulates one benchmark under one scheduler for o.Runs seeds on
+// a fresh grid per run (compression fraction applied when > 0) and pools
+// the results.
+func runConfig(o Options, benchName, schedName string, k int, compression float64) (sim.Aggregate, error) {
+	spec, ok := qbench.ByName(benchName)
+	if !ok {
+		return sim.Aggregate{}, fmt.Errorf("experiments: unknown benchmark %q", benchName)
+	}
+	// Runs are independent (own grid, scheduler and RNG), so they execute
+	// in parallel; results stay deterministic because each seed's run is
+	// self-contained.
+	circ := spec.Circuit()
+	results := make([]*sim.Result, o.Runs)
+	errs := make([]error, o.Runs)
+	var wg sync.WaitGroup
+	for i := 0; i < o.Runs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			seed := o.BaseSeed + int64(i)
+			g := lattice.NewSTARGrid(circ.NumQubits)
+			if compression > 0 {
+				// The compression layout is part of the architecture,
+				// not the stochastic run: derive its seed from the
+				// benchmark so all schedulers see the same compressed
+				// grid per run index.
+				g.Compress(compression, rand.New(rand.NewSource(int64(len(benchName))*1315423911+int64(i))))
+			}
+			s, err := makeScheduler(schedName, k)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			// Sharing circ across goroutines is safe: RunSeeded builds
+			// its own DAG and treats the circuit as read-only.
+			results[i], errs[i] = sim.RunSeeded(g, circ, o.simConfig(), seed, s)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return sim.Aggregate{}, err
+		}
+	}
+	return sim.AggregateResults(results), nil
+}
+
+// sweep helpers ---------------------------------------------------------
+
+// distances returns the code-distance sweep of Figure 11.
+func (o Options) distances() []int {
+	if o.Quick {
+		return []int{5, 7, 9}
+	}
+	return []int{5, 7, 9, 11, 13}
+}
+
+// errorRates returns the physical-error-rate sweep of Figure 12.
+func (o Options) errorRates() []float64 {
+	if o.Quick {
+		return []float64{1e-3, 1e-4}
+	}
+	return []float64{1e-3, 3e-4, 1e-4, 3e-5, 1e-5}
+}
+
+// kValues returns the MST-recomputation-period sweep of Figures 10/13.
+var kValues = []int{25, 50, 100, 200}
+
+// compressions returns the grid-compression sweep of Figure 14.
+func (o Options) compressions() []float64 {
+	if o.Quick {
+		return []float64{0, 0.5, 1.0}
+	}
+	return []float64{0, 0.25, 0.5, 0.75, 1.0}
+}
+
+// frame-only guard used by a couple of drivers.
+var _ = circuit.KindRz

@@ -1,0 +1,196 @@
+// Package graph implements the undirected weighted graphs and minimum
+// spanning trees that back RESCQ's routing data structure: Kruskal
+// construction, the two incremental edge-update cases from paper section
+// 5.4.1, and minimax (bottleneck) path extraction. The MST property the
+// scheduler relies on is that the tree path between any two vertices is a
+// minimax path: it minimizes, over all paths, the maximum edge weight
+// (paper section 4.2).
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Edge is an undirected weighted edge between vertices U and V.
+type Edge struct {
+	U, V int
+	W    float64
+}
+
+// Graph is an undirected weighted multigraph over vertices 0..N-1 with a
+// stable edge index space: AddEdge returns an edge ID that remains valid for
+// the lifetime of the graph, and weights can be updated in place.
+type Graph struct {
+	n     int
+	edges []Edge
+	adj   [][]int32 // vertex -> incident edge IDs
+}
+
+// NewGraph returns an empty graph on n vertices.
+func NewGraph(n int) *Graph {
+	if n < 0 {
+		panic("graph: negative vertex count")
+	}
+	return &Graph{n: n, adj: make([][]int32, n)}
+}
+
+// NumVertices returns the vertex count.
+func (g *Graph) NumVertices() int { return g.n }
+
+// NumEdges returns the edge count.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// AddEdge inserts an undirected edge and returns its ID.
+func (g *Graph) AddEdge(u, v int, w float64) int {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		panic(fmt.Sprintf("graph: edge (%d,%d) out of range [0,%d)", u, v, g.n))
+	}
+	if u == v {
+		panic(fmt.Sprintf("graph: self loop at %d", u))
+	}
+	id := len(g.edges)
+	g.edges = append(g.edges, Edge{U: u, V: v, W: w})
+	g.adj[u] = append(g.adj[u], int32(id))
+	g.adj[v] = append(g.adj[v], int32(id))
+	return id
+}
+
+// Edge returns the edge with the given ID.
+func (g *Graph) Edge(id int) Edge { return g.edges[id] }
+
+// Weight returns the current weight of edge id.
+func (g *Graph) Weight(id int) float64 { return g.edges[id].W }
+
+// SetWeight updates the weight of edge id without any MST maintenance; use
+// Tree.UpdateWeight to keep a spanning tree consistent.
+func (g *Graph) SetWeight(id int, w float64) { g.edges[id].W = w }
+
+// Other returns the endpoint of edge id that is not v.
+func (g *Graph) Other(id, v int) int {
+	e := g.edges[id]
+	if e.U == v {
+		return e.V
+	}
+	return e.U
+}
+
+// IncidentEdges returns the IDs of edges incident to v (shared slice).
+func (g *Graph) IncidentEdges(v int) []int32 { return g.adj[v] }
+
+// Connected reports whether all vertices with at least one incident edge,
+// plus isolated vertices excluded, form... — more precisely it reports
+// whether the whole vertex set is one connected component.
+func (g *Graph) Connected() bool {
+	if g.n == 0 {
+		return true
+	}
+	seen := make([]bool, g.n)
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, id := range g.adj[v] {
+			u := g.Other(int(id), v)
+			if !seen[u] {
+				seen[u] = true
+				count++
+				stack = append(stack, u)
+			}
+		}
+	}
+	return count == g.n
+}
+
+// DSU is a disjoint-set union (union-find) with path halving and union by
+// size.
+type DSU struct {
+	parent []int32
+	size   []int32
+}
+
+// NewDSU returns a DSU over n singleton sets.
+func NewDSU(n int) *DSU {
+	d := &DSU{parent: make([]int32, n), size: make([]int32, n)}
+	for i := range d.parent {
+		d.parent[i] = int32(i)
+		d.size[i] = 1
+	}
+	return d
+}
+
+// Find returns the representative of x's set.
+func (d *DSU) Find(x int) int {
+	for d.parent[x] != int32(x) {
+		d.parent[x] = d.parent[d.parent[x]] // path halving
+		x = int(d.parent[x])
+	}
+	return x
+}
+
+// Union merges the sets of a and b, returning false if already joined.
+func (d *DSU) Union(a, b int) bool {
+	ra, rb := d.Find(a), d.Find(b)
+	if ra == rb {
+		return false
+	}
+	if d.size[ra] < d.size[rb] {
+		ra, rb = rb, ra
+	}
+	d.parent[rb] = int32(ra)
+	d.size[ra] += d.size[rb]
+	return true
+}
+
+// Same reports whether a and b are in the same set.
+func (d *DSU) Same(a, b int) bool { return d.Find(a) == d.Find(b) }
+
+// Kruskal computes a minimum spanning forest of g and returns it as a Tree.
+// Ties are broken by edge ID so the result is deterministic.
+func Kruskal(g *Graph) *Tree {
+	order := make([]int32, len(g.edges))
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ea, eb := g.edges[order[a]], g.edges[order[b]]
+		if ea.W != eb.W {
+			return ea.W < eb.W
+		}
+		return order[a] < order[b]
+	})
+	t := &Tree{
+		g:      g,
+		inTree: make([]bool, len(g.edges)),
+		adj:    make([][]int32, g.n),
+	}
+	dsu := NewDSU(g.n)
+	for _, id := range order {
+		e := g.edges[id]
+		if dsu.Union(e.U, e.V) {
+			t.addTreeEdge(int(id))
+		}
+	}
+	return t
+}
+
+// GridGraph builds the rows x cols 4-neighbour grid graph with all edge
+// weights w0 — the structure used for the section 5.4.1 MST timing
+// analysis.
+func GridGraph(rows, cols int, w0 float64) *Graph {
+	g := NewGraph(rows * cols)
+	at := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				g.AddEdge(at(r, c), at(r, c+1), w0)
+			}
+			if r+1 < rows {
+				g.AddEdge(at(r, c), at(r+1, c), w0)
+			}
+		}
+	}
+	return g
+}

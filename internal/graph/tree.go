@@ -1,0 +1,282 @@
+package graph
+
+// Tree is a spanning forest of a Graph, maintained as a minimum spanning
+// forest under single-edge weight updates (paper section 5.4.1's two cases).
+// It supports path queries between vertices in the same component; by the
+// MST cycle/cut properties these paths are minimax (bottleneck-optimal).
+type Tree struct {
+	g        *Graph
+	inTree   []bool    // edge ID -> membership
+	adj      [][]int32 // vertex -> incident tree edge IDs
+	numEdges int
+
+	// Reusable scratch state for searches, using epoch stamping so no
+	// per-query clearing or allocation is needed.
+	epoch      int32
+	mark       []int32 // vertex -> epoch when last visited (pathSearch)
+	markA      []int32 // side A stamp (smallerSide)
+	markB      []int32 // side B stamp (smallerSide)
+	parentEdge []int32
+	stack      []int
+}
+
+// scratch lazily sizes the reusable buffers and advances the epoch.
+func (t *Tree) scratch() {
+	if len(t.mark) != t.g.n {
+		t.mark = make([]int32, t.g.n)
+		t.markA = make([]int32, t.g.n)
+		t.markB = make([]int32, t.g.n)
+		t.parentEdge = make([]int32, t.g.n)
+	}
+	t.epoch++
+}
+
+func (t *Tree) addTreeEdge(id int) {
+	e := t.g.edges[id]
+	t.inTree[id] = true
+	t.adj[e.U] = append(t.adj[e.U], int32(id))
+	t.adj[e.V] = append(t.adj[e.V], int32(id))
+	t.numEdges++
+}
+
+func (t *Tree) removeTreeEdge(id int) {
+	e := t.g.edges[id]
+	t.inTree[id] = false
+	t.adj[e.U] = removeID(t.adj[e.U], int32(id))
+	t.adj[e.V] = removeID(t.adj[e.V], int32(id))
+	t.numEdges--
+}
+
+func removeID(s []int32, id int32) []int32 {
+	for i, v := range s {
+		if v == id {
+			s[i] = s[len(s)-1]
+			return s[:len(s)-1]
+		}
+	}
+	return s
+}
+
+// Graph returns the underlying graph.
+func (t *Tree) Graph() *Graph { return t.g }
+
+// Contains reports whether edge id is in the tree.
+func (t *Tree) Contains(id int) bool { return t.inTree[id] }
+
+// NumTreeEdges returns the number of edges in the forest.
+func (t *Tree) NumTreeEdges() int { return t.numEdges }
+
+// TotalWeight returns the sum of tree edge weights.
+func (t *Tree) TotalWeight() float64 {
+	var w float64
+	for id, in := range t.inTree {
+		if in {
+			w += t.g.edges[id].W
+		}
+	}
+	return w
+}
+
+// Path returns the vertex sequence of the unique tree path from u to v
+// (inclusive of both endpoints), or nil if they are in different
+// components. Path(u, u) returns [u].
+func (t *Tree) Path(u, v int) []int {
+	edges, ok := t.pathSearch(u, v)
+	if !ok {
+		return nil
+	}
+	path := make([]int, 0, len(edges)+1)
+	path = append(path, u)
+	cur := u
+	for i := len(edges) - 1; i >= 0; i-- {
+		cur = t.g.Other(int(edges[i]), cur)
+		path = append(path, cur)
+	}
+	return path
+}
+
+// PathEdges returns the tree edge IDs along the unique path from u to v, or
+// nil,false if disconnected.
+func (t *Tree) PathEdges(u, v int) ([]int32, bool) {
+	edges, ok := t.pathSearch(u, v)
+	if !ok {
+		return nil, false
+	}
+	// pathSearch returns edges from v back to u; reverse for u -> v order.
+	for i, j := 0, len(edges)-1; i < j; i, j = i+1, j-1 {
+		edges[i], edges[j] = edges[j], edges[i]
+	}
+	return edges, true
+}
+
+// pathSearch runs an iterative DFS from u to v over tree edges and returns
+// the edge IDs from v back toward u.
+func (t *Tree) pathSearch(u, v int) ([]int32, bool) {
+	if u == v {
+		return []int32{}, true
+	}
+	t.scratch()
+	t.mark[u] = t.epoch
+	stack := append(t.stack[:0], u)
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, id := range t.adj[x] {
+			y := t.g.Other(int(id), x)
+			if t.mark[y] == t.epoch {
+				continue
+			}
+			t.mark[y] = t.epoch
+			t.parentEdge[y] = id
+			if y == v {
+				t.stack = stack
+				var edges []int32
+				cur := y
+				for cur != u {
+					id := t.parentEdge[cur]
+					edges = append(edges, id)
+					cur = t.g.Other(int(id), cur)
+				}
+				return edges, true
+			}
+			stack = append(stack, y)
+		}
+	}
+	t.stack = stack
+	return nil, false
+}
+
+// Bottleneck returns the maximum edge weight on the tree path between u and
+// v, and false if they are disconnected.
+func (t *Tree) Bottleneck(u, v int) (float64, bool) {
+	edges, ok := t.pathSearch(u, v)
+	if !ok {
+		return 0, false
+	}
+	var m float64
+	for _, id := range edges {
+		if w := t.g.edges[id].W; w > m {
+			m = w
+		}
+	}
+	return m, true
+}
+
+// SameComponent reports whether u and v are connected in the forest.
+func (t *Tree) SameComponent(u, v int) bool {
+	_, ok := t.pathSearch(u, v)
+	return ok
+}
+
+// UpdateWeight changes the weight of edge id to w and restores the minimum
+// spanning forest invariant. The two non-trivial cases are exactly the ones
+// the paper analyzes in section 5.4.1:
+//
+//  1. the edge is NOT in the tree and its weight decreased: insert it,
+//     which closes a unique cycle, and evict the maximum-weight edge on
+//     that cycle;
+//  2. the edge IS in the tree and its weight increased: removing it splits
+//     the component in two, and the minimum-weight crossing edge (possibly
+//     the same edge) reconnects them.
+//
+// The other two cases (tree edge decreasing, non-tree edge increasing)
+// cannot violate the invariant and only store the new weight.
+func (t *Tree) UpdateWeight(id int, w float64) {
+	old := t.g.edges[id].W
+	t.g.edges[id].W = w
+	switch {
+	case !t.inTree[id] && w < old:
+		t.maybeSwapIn(id)
+	case t.inTree[id] && w > old:
+		t.maybeSwapOut(id)
+	}
+}
+
+// maybeSwapIn handles case 1: non-tree edge got cheaper.
+func (t *Tree) maybeSwapIn(id int) {
+	e := t.g.edges[id]
+	cycle, ok := t.pathSearch(e.U, e.V)
+	if !ok {
+		// The edge connects two components: always add it.
+		t.addTreeEdge(id)
+		return
+	}
+	// Find the max-weight edge on the unique cycle formed by adding id.
+	maxID, maxW := -1, e.W
+	for _, cid := range cycle {
+		if cw := t.g.edges[cid].W; cw > maxW {
+			maxW, maxID = cw, int(cid)
+		}
+	}
+	if maxID >= 0 {
+		t.removeTreeEdge(maxID)
+		t.addTreeEdge(id)
+	}
+}
+
+// maybeSwapOut handles case 2: tree edge got more expensive. Removing the
+// edge cuts its component in two; the replacement is the minimum-weight
+// crossing edge. Only the smaller side's incident edges are scanned, which
+// keeps the update near the paper's O(max(rows, cols)) bound on grid
+// graphs when the cut splits off a small subtree (the common case).
+func (t *Tree) maybeSwapOut(id int) {
+	e := t.g.edges[id]
+	t.removeTreeEdge(id)
+	side, epoch, members := t.smallerSide(e.U, e.V)
+	// Find the minimum-weight edge leaving the smaller side, including id
+	// itself (it may remain the best reconnection).
+	bestID, bestW := id, e.W
+	for _, x := range members {
+		for _, cid := range t.g.adj[x] {
+			c := int(cid)
+			if t.inTree[c] || c == id {
+				continue
+			}
+			ce := t.g.edges[c]
+			if (side[ce.U] == epoch) != (side[ce.V] == epoch) && ce.W < bestW {
+				bestID, bestW = c, ce.W
+			}
+		}
+	}
+	t.addTreeEdge(bestID)
+}
+
+// smallerSide runs two tree BFSs in lockstep from u and v (which were just
+// disconnected) and returns the membership mask and vertex list of the
+// side that exhausts first — the smaller component — in time proportional
+// to its size.
+func (t *Tree) smallerSide(u, v int) ([]int32, int32, []int) {
+	t.scratch()
+	type walker struct {
+		seen  []int32
+		q     []int // BFS queue; q[:heads] already expanded
+		heads int
+	}
+	a := &walker{seen: t.markA, q: []int{u}}
+	b := &walker{seen: t.markB, q: []int{v}}
+	a.seen[u] = t.epoch
+	b.seen[v] = t.epoch
+	step := func(w *walker) bool { // returns false when exhausted
+		if w.heads >= len(w.q) {
+			return false
+		}
+		x := w.q[w.heads]
+		w.heads++
+		for _, tid := range t.adj[x] {
+			y := t.g.Other(int(tid), x)
+			if w.seen[y] != t.epoch {
+				w.seen[y] = t.epoch
+				w.q = append(w.q, y)
+			}
+		}
+		return true
+	}
+	for {
+		if !step(a) {
+			return a.seen, t.epoch, a.q
+		}
+		if !step(b) {
+			return b.seen, t.epoch, b.q
+		}
+	}
+}

@@ -1,0 +1,450 @@
+// Package lattice models the surface-code tile fabric the schedulers
+// operate on: a grid of d-by-d logical tiles, each a data qubit, a routing
+// ancilla, or a hole (removed by grid compression). The default layout is
+// the STAR grid of Akahoshi et al. as used by the paper: one data qubit per
+// 2x2 block, giving three ancilla tiles per data qubit at 0% compression,
+// with full ancilla corridors on even rows and columns. Grid compression
+// (paper section 5.3) removes two of a block's three ancillas while keeping
+// the ancilla network connected, down to one ancilla per data qubit.
+package lattice
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// TileKind classifies a grid tile.
+type TileKind uint8
+
+const (
+	// TileHole is an unusable tile (removed by compression or outside the
+	// active fabric).
+	TileHole TileKind = iota
+	// TileData holds a program qubit.
+	TileData
+	// TileAncilla is a routing / state-preparation ancilla tile.
+	TileAncilla
+)
+
+// Orientation records which sides of a data tile expose its Z edges. The
+// paper's convention (Figure 2) is horizontal edges = Z, i.e. the Z edges
+// face north and south; an edge-rotation gate toggles the orientation.
+type Orientation uint8
+
+const (
+	// ZNorthSouth exposes Z edges to the north/south neighbours and X
+	// edges east/west. This is the initial orientation of every qubit.
+	ZNorthSouth Orientation = iota
+	// ZEastWest is the rotated orientation: Z edges east/west.
+	ZEastWest
+)
+
+// Toggled returns the opposite orientation.
+func (o Orientation) Toggled() Orientation {
+	if o == ZNorthSouth {
+		return ZEastWest
+	}
+	return ZNorthSouth
+}
+
+// Coord addresses a tile by row and column.
+type Coord struct {
+	Row, Col int
+}
+
+// At is a convenience constructor for Coord.
+func At(row, col int) Coord { return Coord{Row: row, Col: col} }
+
+// Dir is one of the four cardinal directions.
+type Dir uint8
+
+// Cardinal directions, in the fixed order used by iteration helpers.
+const (
+	North Dir = iota
+	South
+	East
+	West
+)
+
+// Step returns the coordinate one tile away in direction d.
+func (c Coord) Step(d Dir) Coord {
+	switch d {
+	case North:
+		return Coord{c.Row - 1, c.Col}
+	case South:
+		return Coord{c.Row + 1, c.Col}
+	case East:
+		return Coord{c.Row, c.Col + 1}
+	default:
+		return Coord{c.Row, c.Col - 1}
+	}
+}
+
+// String renders the coordinate as (row,col).
+func (c Coord) String() string { return fmt.Sprintf("(%d,%d)", c.Row, c.Col) }
+
+// Grid is the lattice fabric. It is mutable in two ways only: compression
+// (ancilla removal) at setup time, and data-qubit orientation toggles during
+// simulation (edge-rotation gates).
+type Grid struct {
+	rows, cols int
+	kind       []TileKind
+	qubitAt    []int // tile -> qubit ID, -1 if not a data tile
+	orient     []Orientation
+	dataTile   []Coord // qubit -> tile coordinate
+
+	ancID   []int   // tile -> dense ancilla ID, -1 otherwise
+	ancTile []Coord // ancilla ID -> tile coordinate
+
+	blockRows, blockCols int
+}
+
+// NewSTARGrid builds the uncompressed STAR grid for n program qubits. The
+// qubits are laid out row-major over a near-square block grid; qubit q sits
+// at tile (2*(q/C)+1, 2*(q%C)+1).
+func NewSTARGrid(n int) *Grid {
+	if n < 1 {
+		panic("lattice: need at least one qubit")
+	}
+	bc := 1
+	for bc*bc < n {
+		bc++
+	}
+	br := (n + bc - 1) / bc
+	rows, cols := 2*br+1, 2*bc+1
+	g := &Grid{
+		rows:      rows,
+		cols:      cols,
+		kind:      make([]TileKind, rows*cols),
+		qubitAt:   make([]int, rows*cols),
+		orient:    make([]Orientation, rows*cols),
+		dataTile:  make([]Coord, n),
+		blockRows: br,
+		blockCols: bc,
+	}
+	for i := range g.kind {
+		g.kind[i] = TileAncilla
+		g.qubitAt[i] = -1
+	}
+	for q := 0; q < n; q++ {
+		c := Coord{2*(q/bc) + 1, 2*(q%bc) + 1}
+		i := g.idx(c)
+		g.kind[i] = TileData
+		g.qubitAt[i] = q
+		g.dataTile[q] = c
+	}
+	g.reindexAncillas()
+	return g
+}
+
+func (g *Grid) idx(c Coord) int { return c.Row*g.cols + c.Col }
+
+// reindexAncillas rebuilds the dense ancilla ID space after layout changes.
+func (g *Grid) reindexAncillas() {
+	g.ancID = make([]int, g.rows*g.cols)
+	g.ancTile = g.ancTile[:0]
+	for i := range g.ancID {
+		g.ancID[i] = -1
+	}
+	for r := 0; r < g.rows; r++ {
+		for c := 0; c < g.cols; c++ {
+			i := r*g.cols + c
+			if g.kind[i] == TileAncilla {
+				g.ancID[i] = len(g.ancTile)
+				g.ancTile = append(g.ancTile, Coord{r, c})
+			}
+		}
+	}
+}
+
+// Rows returns the tile row count.
+func (g *Grid) Rows() int { return g.rows }
+
+// NumTiles returns the total tile count (rows * cols).
+func (g *Grid) NumTiles() int { return g.rows * g.cols }
+
+// TileIndex returns the dense row-major index of c, for flat per-tile
+// arrays maintained by the simulator. The coordinate must be in bounds.
+func (g *Grid) TileIndex(c Coord) int {
+	if !g.InBounds(c) {
+		panic(fmt.Sprintf("lattice: tile %v out of bounds", c))
+	}
+	return g.idx(c)
+}
+
+// Cols returns the tile column count.
+func (g *Grid) Cols() int { return g.cols }
+
+// NumQubits returns the data qubit count.
+func (g *Grid) NumQubits() int { return len(g.dataTile) }
+
+// NumAncilla returns the live ancilla tile count.
+func (g *Grid) NumAncilla() int { return len(g.ancTile) }
+
+// InBounds reports whether c is a valid tile coordinate.
+func (g *Grid) InBounds(c Coord) bool {
+	return c.Row >= 0 && c.Row < g.rows && c.Col >= 0 && c.Col < g.cols
+}
+
+// Kind returns the tile kind at c (TileHole outside the grid).
+func (g *Grid) Kind(c Coord) TileKind {
+	if !g.InBounds(c) {
+		return TileHole
+	}
+	return g.kind[g.idx(c)]
+}
+
+// QubitAt returns the qubit ID at tile c, or -1.
+func (g *Grid) QubitAt(c Coord) int {
+	if !g.InBounds(c) {
+		return -1
+	}
+	return g.qubitAt[g.idx(c)]
+}
+
+// DataTile returns the tile hosting qubit q.
+func (g *Grid) DataTile(q int) Coord { return g.dataTile[q] }
+
+// AncillaID returns the dense ancilla ID of tile c, or -1.
+func (g *Grid) AncillaID(c Coord) int {
+	if !g.InBounds(c) {
+		return -1
+	}
+	return g.ancID[g.idx(c)]
+}
+
+// AncillaTile returns the coordinate of ancilla id.
+func (g *Grid) AncillaTile(id int) Coord { return g.ancTile[id] }
+
+// Orientation returns the current edge orientation of qubit q.
+func (g *Grid) Orientation(q int) Orientation {
+	return g.orient[g.idx(g.dataTile[q])]
+}
+
+// ToggleOrientation flips the edge orientation of qubit q; this is the
+// effect of an edge-rotation gate.
+func (g *Grid) ToggleOrientation(q int) {
+	i := g.idx(g.dataTile[q])
+	g.orient[i] = g.orient[i].Toggled()
+}
+
+// SetOrientation forces the orientation of qubit q (used by tests).
+func (g *Grid) SetOrientation(q int, o Orientation) {
+	g.orient[g.idx(g.dataTile[q])] = o
+}
+
+// ZEdgeDirs returns the two directions in which qubit q currently exposes
+// its Z edges.
+func (g *Grid) ZEdgeDirs(q int) [2]Dir {
+	if g.Orientation(q) == ZNorthSouth {
+		return [2]Dir{North, South}
+	}
+	return [2]Dir{East, West}
+}
+
+// XEdgeDirs returns the two directions in which qubit q currently exposes
+// its X edges.
+func (g *Grid) XEdgeDirs(q int) [2]Dir {
+	if g.Orientation(q) == ZNorthSouth {
+		return [2]Dir{East, West}
+	}
+	return [2]Dir{North, South}
+}
+
+// AncillaNeighbors appends to buf the coordinates of ancilla tiles
+// 4-adjacent to c and returns the extended slice.
+func (g *Grid) AncillaNeighbors(c Coord, buf []Coord) []Coord {
+	for d := North; d <= West; d++ {
+		n := c.Step(d)
+		if g.Kind(n) == TileAncilla {
+			buf = append(buf, n)
+		}
+	}
+	return buf
+}
+
+// ZEdgeAncillas returns the ancilla tiles adjacent to qubit q across its Z
+// edges (at most two).
+func (g *Grid) ZEdgeAncillas(q int) []Coord {
+	var out []Coord
+	c := g.dataTile[q]
+	for _, d := range g.ZEdgeDirs(q) {
+		n := c.Step(d)
+		if g.Kind(n) == TileAncilla {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// XEdgeAncillas returns the ancilla tiles adjacent to qubit q across its X
+// edges (at most two).
+func (g *Grid) XEdgeAncillas(q int) []Coord {
+	var out []Coord
+	c := g.dataTile[q]
+	for _, d := range g.XEdgeDirs(q) {
+		n := c.Step(d)
+		if g.Kind(n) == TileAncilla {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// DiagonalAncillas returns the ancilla tiles diagonally adjacent to qubit q.
+// RESCQ enqueues Rz preparations on these when they can be routed to the
+// data qubit through an X-edge-adjacent routing ancilla (Figure 7).
+func (g *Grid) DiagonalAncillas(q int) []Coord {
+	c := g.dataTile[q]
+	var out []Coord
+	for _, dc := range [4]Coord{
+		{c.Row - 1, c.Col - 1}, {c.Row - 1, c.Col + 1},
+		{c.Row + 1, c.Col - 1}, {c.Row + 1, c.Col + 1},
+	} {
+		if g.Kind(dc) == TileAncilla {
+			out = append(out, dc)
+		}
+	}
+	return out
+}
+
+// AncillaGraph builds the undirected graph over ancilla IDs with one edge
+// per pair of 4-adjacent ancilla tiles, all weights initialized to w0. The
+// returned edge IDs are stable and can be looked up via AncillaGraphEdge.
+func (g *Grid) AncillaGraph(w0 float64) *graph.Graph {
+	gr := graph.NewGraph(len(g.ancTile))
+	for id, c := range g.ancTile {
+		// Add each edge once: only toward south and east.
+		for _, d := range [2]Dir{South, East} {
+			n := c.Step(d)
+			if nid := g.AncillaID(n); nid >= 0 {
+				gr.AddEdge(id, nid, w0)
+			}
+		}
+	}
+	return gr
+}
+
+// AncillaConnected reports whether the ancilla tiles form a single
+// 4-connected component.
+func (g *Grid) AncillaConnected() bool {
+	if len(g.ancTile) == 0 {
+		return false
+	}
+	seen := make([]bool, len(g.ancTile))
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		c := g.ancTile[id]
+		for d := North; d <= West; d++ {
+			if nid := g.AncillaID(c.Step(d)); nid >= 0 && !seen[nid] {
+				seen[nid] = true
+				count++
+				stack = append(stack, nid)
+			}
+		}
+	}
+	return count == len(g.ancTile)
+}
+
+// Compress removes ancilla tiles to model the paper's section 5.3 grid
+// compression, which shrinks STAR blocks from three ancillas per data
+// qubit (0%) toward a single ancilla per data qubit (100%). The target
+// ancilla count interpolates between the full layout and one-per-data:
+// tiles are removed in random order, skipping any removal that would
+// disconnect the ancilla network or strand a data qubit with no adjacent
+// ancilla — the paper's "while still ensuring the grid remains connected".
+// Because a connected network touching every data qubit needs corridor
+// tiles, very high compression targets may be unreachable; Compress then
+// removes as much as connectivity allows. It returns the number of
+// ancillas removed.
+func (g *Grid) Compress(fraction float64, rng *rand.Rand) int {
+	if fraction <= 0 {
+		return 0
+	}
+	if fraction > 1 {
+		fraction = 1
+	}
+	n := len(g.dataTile)
+	a0 := len(g.ancTile)
+	target := a0 - int(fraction*float64(a0-n)+0.5)
+	removed := 0
+	for len(g.ancTile) > target {
+		progress := false
+		order := rng.Perm(len(g.ancTile))
+		tiles := make([]Coord, len(g.ancTile))
+		copy(tiles, g.ancTile)
+		for _, idx := range order {
+			if len(g.ancTile) <= target {
+				break
+			}
+			c := tiles[idx]
+			i := g.idx(c)
+			if g.kind[i] != TileAncilla {
+				continue // removed earlier this pass
+			}
+			g.kind[i] = TileHole
+			if g.compressionValid() {
+				removed++
+				progress = true
+			} else {
+				g.kind[i] = TileAncilla
+			}
+		}
+		g.reindexAncillas()
+		if !progress {
+			break
+		}
+	}
+	g.reindexAncillas()
+	return removed
+}
+
+// compressionValid checks the two invariants compression must preserve:
+// the ancilla network stays 4-connected and every data qubit keeps at
+// least one adjacent ancilla tile.
+func (g *Grid) compressionValid() bool {
+	g.reindexAncillas()
+	if !g.AncillaConnected() {
+		return false
+	}
+	var buf []Coord
+	for q := range g.dataTile {
+		buf = g.AncillaNeighbors(g.dataTile[q], buf[:0])
+		if len(buf) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// AncillaPerData returns the current ancilla-to-data-qubit ratio.
+func (g *Grid) AncillaPerData() float64 {
+	return float64(len(g.ancTile)) / float64(len(g.dataTile))
+}
+
+// Render draws the grid as ASCII art (Figure 15-style): data tiles as 'D',
+// ancillas as '.', holes as ' '.
+func (g *Grid) Render() string {
+	var sb strings.Builder
+	for r := 0; r < g.rows; r++ {
+		for c := 0; c < g.cols; c++ {
+			switch g.kind[r*g.cols+c] {
+			case TileData:
+				sb.WriteByte('D')
+			case TileAncilla:
+				sb.WriteByte('.')
+			default:
+				sb.WriteByte(' ')
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

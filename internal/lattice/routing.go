@@ -1,0 +1,154 @@
+package lattice
+
+// routing.go provides geometric path search over ancilla tiles: the BFS
+// shortest path used by the greedy baseline and the row/column "braid"
+// paths used by the AutoBraid-style baseline.
+
+// ShortestAncillaPath runs a breadth-first search over ancilla tiles from
+// any tile in src to any tile in dst, skipping tiles for which blocked
+// returns true (busy ancillas). Both src and dst members must be ancilla
+// tiles; blocked is not consulted for them if they coincide. It returns the
+// tile sequence including the chosen endpoints, or nil if no path exists.
+func (g *Grid) ShortestAncillaPath(src, dst []Coord, blocked func(Coord) bool) []Coord {
+	if len(src) == 0 || len(dst) == 0 {
+		return nil
+	}
+	isDst := make(map[Coord]bool, len(dst))
+	for _, c := range dst {
+		if g.Kind(c) == TileAncilla && (blocked == nil || !blocked(c)) {
+			isDst[c] = true
+		}
+	}
+	if len(isDst) == 0 {
+		return nil
+	}
+	prev := make(map[Coord]Coord, 64)
+	visited := make(map[Coord]bool, 64)
+	var queue []Coord
+	for _, c := range src {
+		if g.Kind(c) != TileAncilla || (blocked != nil && blocked(c)) {
+			continue
+		}
+		if visited[c] {
+			continue
+		}
+		visited[c] = true
+		queue = append(queue, c)
+		if isDst[c] {
+			return []Coord{c}
+		}
+	}
+	for len(queue) > 0 {
+		c := queue[0]
+		queue = queue[1:]
+		for d := North; d <= West; d++ {
+			n := c.Step(d)
+			if g.Kind(n) != TileAncilla || visited[n] {
+				continue
+			}
+			if blocked != nil && blocked(n) {
+				continue
+			}
+			visited[n] = true
+			prev[n] = c
+			if isDst[n] {
+				// Reconstruct.
+				var rev []Coord
+				cur := n
+				for {
+					rev = append(rev, cur)
+					p, ok := prev[cur]
+					if !ok {
+						break
+					}
+					cur = p
+				}
+				path := make([]Coord, len(rev))
+				for i := range rev {
+					path[i] = rev[len(rev)-1-i]
+				}
+				return path
+			}
+			queue = append(queue, n)
+		}
+	}
+	return nil
+}
+
+// BraidPath builds an AutoBraid-style two-segment path between ancilla
+// tiles a and b: it walks along a's row to b's column, then along b's
+// column (an "L" route). Every tile on the route must be a live, unblocked
+// ancilla; otherwise it tries the transposed "L" (column first), and
+// returns nil if neither works. This mimics the row/column braid corridors
+// of Hua et al. without global search.
+func (g *Grid) BraidPath(a, b Coord, blocked func(Coord) bool) []Coord {
+	if p := g.straightL(a, b, true, blocked); p != nil {
+		return p
+	}
+	return g.straightL(a, b, false, blocked)
+}
+
+// straightL walks row-first (or column-first) from a to b.
+func (g *Grid) straightL(a, b Coord, rowFirst bool, blocked func(Coord) bool) []Coord {
+	var path []Coord
+	ok := func(c Coord) bool {
+		return g.Kind(c) == TileAncilla && (blocked == nil || !blocked(c))
+	}
+	step := func(from, to int) int {
+		if to > from {
+			return 1
+		}
+		return -1
+	}
+	cur := a
+	if !ok(cur) {
+		return nil
+	}
+	path = append(path, cur)
+	legs := [2]bool{rowFirst, !rowFirst}
+	for _, horizontal := range legs {
+		if horizontal {
+			for cur.Col != b.Col {
+				cur = Coord{cur.Row, cur.Col + step(cur.Col, b.Col)}
+				if !ok(cur) {
+					return nil
+				}
+				path = append(path, cur)
+			}
+		} else {
+			for cur.Row != b.Row {
+				cur = Coord{cur.Row + step(cur.Row, b.Row), cur.Col}
+				if !ok(cur) {
+					return nil
+				}
+				path = append(path, cur)
+			}
+		}
+	}
+	return path
+}
+
+// PathContiguous reports whether path is a sequence of 4-adjacent live
+// ancilla tiles (used to validate scheduler output in tests and as a
+// defensive check in the engine).
+func (g *Grid) PathContiguous(path []Coord) bool {
+	for i, c := range path {
+		if g.Kind(c) != TileAncilla {
+			return false
+		}
+		if i > 0 {
+			p := path[i-1]
+			dr, dc := c.Row-p.Row, c.Col-p.Col
+			if dr < 0 {
+				dr = -dr
+			}
+			if dc < 0 {
+				dc = -dc
+			}
+			if dr+dc != 1 {
+				return false
+			}
+		}
+	}
+	return true
+}

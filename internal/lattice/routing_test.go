@@ -1,0 +1,152 @@
+package lattice
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestShortestAncillaPathTrivial(t *testing.T) {
+	g := NewSTARGrid(4)
+	a := Coord{0, 1}
+	p := g.ShortestAncillaPath([]Coord{a}, []Coord{a}, nil)
+	if len(p) != 1 || p[0] != a {
+		t.Errorf("self path = %v, want [%v]", p, a)
+	}
+}
+
+func TestShortestAncillaPathStraightLine(t *testing.T) {
+	g := NewSTARGrid(4)
+	// Row 0 is a full ancilla corridor: (0,0) to (0,4) is length 5.
+	p := g.ShortestAncillaPath([]Coord{{0, 0}}, []Coord{{0, 4}}, nil)
+	if len(p) != 5 {
+		t.Fatalf("path = %v, want 5 tiles", p)
+	}
+	if !g.PathContiguous(p) {
+		t.Error("path must be contiguous ancillas")
+	}
+}
+
+func TestShortestAncillaPathAvoidsBlocked(t *testing.T) {
+	g := NewSTARGrid(4)
+	blocked := func(c Coord) bool { return c == Coord{0, 2} }
+	p := g.ShortestAncillaPath([]Coord{{0, 0}}, []Coord{{0, 4}}, blocked)
+	if p == nil {
+		t.Fatal("detour should exist")
+	}
+	for _, c := range p {
+		if blocked(c) {
+			t.Fatalf("path %v passes through blocked tile", p)
+		}
+	}
+	if len(p) <= 5 {
+		t.Errorf("detour should be longer than the straight line, got %d", len(p))
+	}
+	if !g.PathContiguous(p) {
+		t.Error("detour must be contiguous")
+	}
+}
+
+func TestShortestAncillaPathNoRoute(t *testing.T) {
+	g := NewSTARGrid(4)
+	blockAll := func(c Coord) bool { return c.Row != 0 }
+	p := g.ShortestAncillaPath([]Coord{{0, 0}}, []Coord{{4, 4}}, blockAll)
+	if p != nil {
+		t.Errorf("expected nil path, got %v", p)
+	}
+}
+
+func TestShortestAncillaPathMultiSource(t *testing.T) {
+	g := NewSTARGrid(4)
+	// Sources on opposite corners; nearest one should win.
+	p := g.ShortestAncillaPath([]Coord{{4, 4}, {0, 0}}, []Coord{{0, 1}}, nil)
+	if p == nil || p[0] != (Coord{0, 0}) {
+		t.Errorf("path = %v, want to start at (0,0)", p)
+	}
+	if len(p) != 2 {
+		t.Errorf("path length = %d, want 2", len(p))
+	}
+}
+
+func TestBraidPath(t *testing.T) {
+	g := NewSTARGrid(9) // 7x7 tiles
+	a, b := Coord{0, 0}, Coord{0, 6}
+	p := g.BraidPath(a, b, nil)
+	if p == nil {
+		t.Fatal("row corridor braid should exist")
+	}
+	if !g.PathContiguous(p) {
+		t.Error("braid path must be contiguous")
+	}
+	if p[0] != a || p[len(p)-1] != b {
+		t.Errorf("braid endpoints wrong: %v", p)
+	}
+}
+
+func TestBraidPathAroundData(t *testing.T) {
+	g := NewSTARGrid(9)
+	// (1,0) to (1,6): row 1 contains data tiles at odd columns, so the
+	// row-first L fails; column-first goes through row? Column-first from
+	// (1,0): walk column 0 to row 1 (already there), then row 1 East —
+	// also blocked. BraidPath should return nil here.
+	p := g.BraidPath(Coord{1, 0}, Coord{1, 6}, nil)
+	if p != nil {
+		t.Errorf("expected nil braid through data row, got %v", p)
+	}
+}
+
+func TestBraidPathLShape(t *testing.T) {
+	g := NewSTARGrid(9)
+	p := g.BraidPath(Coord{0, 0}, Coord{6, 0}, nil)
+	if p == nil {
+		t.Fatal("column corridor braid should exist")
+	}
+	if len(p) != 7 {
+		t.Errorf("braid length = %d, want 7", len(p))
+	}
+}
+
+// Property: BFS paths are never longer than braid paths between the same
+// endpoints, are contiguous, avoid blocked tiles, and start/end correctly.
+func TestShortestPathProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := NewSTARGrid(4 + rng.Intn(12))
+		// Random blocked set, not too dense.
+		blockedSet := map[Coord]bool{}
+		for i := 0; i < g.NumAncilla()/10; i++ {
+			blockedSet[g.AncillaTile(rng.Intn(g.NumAncilla()))] = true
+		}
+		blocked := func(c Coord) bool { return blockedSet[c] }
+		for k := 0; k < 8; k++ {
+			a := g.AncillaTile(rng.Intn(g.NumAncilla()))
+			b := g.AncillaTile(rng.Intn(g.NumAncilla()))
+			if blockedSet[a] || blockedSet[b] {
+				continue
+			}
+			bfs := g.ShortestAncillaPath([]Coord{a}, []Coord{b}, blocked)
+			braid := g.BraidPath(a, b, blocked)
+			if bfs == nil {
+				if braid != nil {
+					return false // BFS is complete; braid cannot beat it
+				}
+				continue
+			}
+			if bfs[0] != a || bfs[len(bfs)-1] != b || !g.PathContiguous(bfs) {
+				return false
+			}
+			for _, c := range bfs {
+				if blockedSet[c] {
+					return false
+				}
+			}
+			if braid != nil && len(braid) < len(bfs) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

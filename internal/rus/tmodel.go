@@ -1,0 +1,79 @@
+package rus
+
+import "math"
+
+// tmodel.go implements the Clifford+T comparison model of Appendix A.2 and
+// the fidelity-capacity curves of Figure 3.
+
+// TModel captures the cost of executing one Rz(theta) in the traditional
+// Clifford+T compilation with distillation factories, using the paper's
+// Appendix A.2 assumptions (one dedicated factory per data qubit, a valid
+// routing path always available — both optimistic for Clifford+T).
+type TModel struct {
+	// PrepCycles is the T-state distillation latency in lattice-surgery
+	// cycles (11 cycles for 99.9% error-detection success, per Litinski's
+	// analysis cited by the paper).
+	PrepCycles int
+	// InjectCycles is the cost of injecting a prepared T state.
+	InjectCycles int
+	// TPerRz is the number of T gates per synthesized Rz rotation
+	// (more than 100 per the paper, citing Ross-Selinger synthesis).
+	TPerRz int
+}
+
+// DefaultTModel returns the Appendix A.2 constants.
+func DefaultTModel() TModel {
+	return TModel{PrepCycles: 11, InjectCycles: 2, TPerRz: 100}
+}
+
+// TGateCyclesRange returns the best/worst case cycles for one T gate:
+// injection only (factory had the state ready) up to injection plus the
+// full distillation latency.
+func (m TModel) TGateCyclesRange() (lo, hi int) {
+	return m.InjectCycles, m.InjectCycles + m.PrepCycles
+}
+
+// RzCyclesRange returns the Appendix A.2 bounds for one synthesized
+// Rz(theta) in Clifford+T: TPerRz sequential T gates.
+func (m TModel) RzCyclesRange() (lo, hi int) {
+	tlo, thi := m.TGateCyclesRange()
+	return m.TPerRz * tlo, m.TPerRz * thi
+}
+
+// ContinuousRzCycles returns the expected cycles for one Rz under the
+// baseline continuous-angle policy: E[steps] * (prep + inject), with the
+// paper's worst-case prep estimate of 2.2 cycles and a 2-cycle CNOT-type
+// injection, giving the 8.4-cycle figure of Appendix A.2.
+func ContinuousRzCycles(prepCycles, injectCycles float64) float64 {
+	return 2 * (prepCycles + injectCycles)
+}
+
+// OverheadRange returns the Clifford+T : Clifford+Rz cycle overhead ratio
+// bounds of Appendix A.2 (the paper reports 20-150x using 8.4 cycles for
+// the continuous-angle side).
+func (m TModel) OverheadRange(continuousCycles float64) (lo, hi float64) {
+	l, h := m.RzCyclesRange()
+	return float64(l) / continuousCycles, float64(h) / continuousCycles
+}
+
+// MaxGatesForFidelity returns the maximum number of gates executable while
+// keeping program fidelity above target, given a per-gate logical error
+// rate: N = ln(F) / ln(1 - ler). This generates Figure 3's solid curves;
+// the dashed Clifford+T curves use an effective per-rotation error rate
+// inflated by the T count per rotation.
+func MaxGatesForFidelity(targetFidelity, perGateLER float64) float64 {
+	if targetFidelity <= 0 || targetFidelity >= 1 || perGateLER <= 0 || perGateLER >= 1 {
+		return math.Inf(1)
+	}
+	return math.Log(targetFidelity) / math.Log(1-perGateLER)
+}
+
+// Figure3Point evaluates both compilations at one target fidelity: the
+// Clifford+Rz capacity with per-rotation error rate ler, and the Clifford+T
+// capacity where each rotation costs tPerRz T gates of the same ler.
+func Figure3Point(targetFidelity, ler float64, tPerRz int) (rzGates, tGates float64) {
+	rz := MaxGatesForFidelity(targetFidelity, ler)
+	// A synthesized rotation accumulates tPerRz opportunities to fail.
+	effective := 1 - math.Pow(1-ler, float64(tPerRz))
+	return rz, MaxGatesForFidelity(targetFidelity, effective)
+}

@@ -1,0 +1,241 @@
+// Package rescq is the public API of the RESCQ reproduction: a realtime
+// scheduler for continuous-angle quantum error correction architectures
+// (Sethi & Baker, ASPLOS 2025), together with the full simulation substrate
+// the paper's evaluation needs — surface-code lattice model, RUS
+// state-preparation model, Table 3 benchmark generators, the greedy and
+// AutoBraid static baselines, and drivers for every table and figure.
+//
+// The typical entry point is Run:
+//
+//	sum, err := rescq.Run("gcm_n13", rescq.Options{Scheduler: rescq.RESCQ})
+//
+// which simulates a Table 3 benchmark on a fresh STAR grid and returns
+// pooled statistics over the configured seeds. RunCircuitText accepts any
+// circuit in the artifact's text format instead of a named benchmark, and
+// Experiment regenerates a specific paper table or figure as text.
+package rescq
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/lattice"
+	"repro/internal/qbench"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// SchedulerKind selects the scheduling policy.
+type SchedulerKind string
+
+// The three evaluated schedulers.
+const (
+	// Greedy is the static layered baseline with BFS shortest-path
+	// routing (Javadi-Abhari et al.).
+	Greedy SchedulerKind = "greedy"
+	// AutoBraid is the static layered baseline with row/column braid
+	// routing (Hua et al.).
+	AutoBraid SchedulerKind = "autobraid"
+	// RESCQ is the paper's realtime scheduler.
+	RESCQ SchedulerKind = "rescq"
+)
+
+// Options configures a simulation.
+type Options struct {
+	// Scheduler picks the policy; default RESCQ.
+	Scheduler SchedulerKind
+	// Distance is the surface code distance d; default 7.
+	Distance int
+	// PhysError is the physical qubit error rate p; default 1e-4.
+	PhysError float64
+	// K is RESCQ's MST recomputation period in cycles; default 25.
+	K int
+	// TauMST is RESCQ's modeled MST computation latency; default 100.
+	TauMST int
+	// Compression removes ancillas down to the STAR compressed blocks:
+	// 0 keeps all three ancillas per data qubit, 1 compresses every
+	// block to a single ancilla (paper section 5.3).
+	Compression float64
+	// Runs is the number of independent seeded runs; default 3.
+	Runs int
+	// Seed is the base random seed; run i uses Seed+i. Default 1.
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Scheduler == "" {
+		o.Scheduler = RESCQ
+	}
+	if o.Distance == 0 {
+		o.Distance = 7
+	}
+	if o.PhysError == 0 {
+		o.PhysError = 1e-4
+	}
+	if o.Runs == 0 {
+		o.Runs = 3
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Validate reports whether the options are usable.
+func (o Options) Validate() error {
+	o = o.withDefaults()
+	switch o.Scheduler {
+	case Greedy, AutoBraid, RESCQ:
+	default:
+		return fmt.Errorf("rescq: unknown scheduler %q", o.Scheduler)
+	}
+	if o.Distance < 3 || o.Distance%2 == 0 {
+		return fmt.Errorf("rescq: distance %d must be odd and >= 3", o.Distance)
+	}
+	if o.PhysError <= 0 || o.PhysError >= 0.5 {
+		return fmt.Errorf("rescq: physical error rate %v out of range", o.PhysError)
+	}
+	if o.Compression < 0 || o.Compression > 1 {
+		return fmt.Errorf("rescq: compression %v out of [0,1]", o.Compression)
+	}
+	if o.Runs < 1 {
+		return fmt.Errorf("rescq: runs must be positive")
+	}
+	return nil
+}
+
+// Result reports one seeded simulation run.
+type Result struct {
+	Scheduler string
+	Benchmark string
+	Seed      int64
+	// TotalCycles is the program makespan in lattice-surgery cycles.
+	TotalCycles int
+	// CNOTLatencies / RzLatencies give per-gate completion latency in
+	// cycles from readiness to completion (Figure 5's quantity).
+	CNOTLatencies []int
+	RzLatencies   []int
+	// MeanIdleFraction averages each data qubit's idle share.
+	MeanIdleFraction float64
+	PrepsStarted     int
+	InjectionsCount  int
+	EdgeRotations    int
+}
+
+// Summary pools the runs of one configuration.
+type Summary struct {
+	Benchmark  string
+	Scheduler  string
+	Runs       []Result
+	MeanCycles float64
+	MinCycles  int
+	MaxCycles  int
+	StdCycles  float64
+	MeanIdle   float64
+}
+
+// BenchmarkInfo describes one Table 3 benchmark.
+type BenchmarkInfo struct {
+	Name, Suite        string
+	Qubits             int
+	PaperRz, PaperCNOT int
+}
+
+// Benchmarks lists the Table 3 suite in the paper's order.
+func Benchmarks() []BenchmarkInfo {
+	specs := qbench.All()
+	out := make([]BenchmarkInfo, len(specs))
+	for i, s := range specs {
+		out[i] = BenchmarkInfo{Name: s.Name, Suite: s.Suite, Qubits: s.Qubits,
+			PaperRz: s.PaperRz, PaperCNOT: s.PaperCNOT}
+	}
+	return out
+}
+
+// BenchmarkCircuitText returns the named benchmark circuit rendered in the
+// artifact's text format (usable with RunCircuitText or external tools).
+func BenchmarkCircuitText(name string) (string, error) {
+	spec, ok := qbench.ByName(name)
+	if !ok {
+		return "", fmt.Errorf("rescq: unknown benchmark %q", name)
+	}
+	return circuit.Format(spec.Circuit()), nil
+}
+
+// Run simulates a named Table 3 benchmark under the given options.
+func Run(benchmark string, opts Options) (Summary, error) {
+	spec, ok := qbench.ByName(benchmark)
+	if !ok {
+		return Summary{}, fmt.Errorf("rescq: unknown benchmark %q (see Benchmarks())", benchmark)
+	}
+	return runCircuit(spec.Circuit(), opts)
+}
+
+// RunCircuitText simulates a circuit given in the artifact text format:
+// the gate count on the first line, then one "<gate> <qubits> [angle]" per
+// line (see internal/circuit for the accepted angle syntaxes).
+func RunCircuitText(name, text string, opts Options) (Summary, error) {
+	c, err := circuit.ParseString(name, text)
+	if err != nil {
+		return Summary{}, err
+	}
+	return runCircuit(c, opts)
+}
+
+func runCircuit(c *circuit.Circuit, opts Options) (Summary, error) {
+	opts = opts.withDefaults()
+	if err := opts.Validate(); err != nil {
+		return Summary{}, err
+	}
+	cfg := sim.Config{Distance: opts.Distance, PhysError: opts.PhysError}
+	sum := Summary{Benchmark: c.Name, Scheduler: string(opts.Scheduler)}
+	var results []*sim.Result
+	for i := 0; i < opts.Runs; i++ {
+		g := lattice.NewSTARGrid(c.NumQubits)
+		if opts.Compression > 0 {
+			g.Compress(opts.Compression, rand.New(rand.NewSource(opts.Seed+int64(i)*7919)))
+		}
+		s, err := newScheduler(opts)
+		if err != nil {
+			return Summary{}, err
+		}
+		res, err := sim.RunSeeded(g, c, cfg, opts.Seed+int64(i), s)
+		if err != nil {
+			return Summary{}, err
+		}
+		results = append(results, res)
+		sum.Runs = append(sum.Runs, Result{
+			Scheduler:        res.Scheduler,
+			Benchmark:        res.Benchmark,
+			Seed:             res.Seed,
+			TotalCycles:      res.TotalCycles,
+			CNOTLatencies:    res.CNOTLatencies,
+			RzLatencies:      res.RzLatencies,
+			MeanIdleFraction: res.MeanIdleFraction,
+			PrepsStarted:     res.PrepsStarted,
+			InjectionsCount:  res.InjectionsStarted,
+			EdgeRotations:    res.EdgeRotations,
+		})
+	}
+	agg := sim.AggregateResults(results)
+	sum.MeanCycles = agg.MeanCycles
+	sum.MinCycles = agg.MinCycles
+	sum.MaxCycles = agg.MaxCycles
+	sum.StdCycles = agg.StdCycles
+	sum.MeanIdle = agg.MeanIdle
+	return sum, nil
+}
+
+func newScheduler(opts Options) (sim.Scheduler, error) {
+	switch opts.Scheduler {
+	case Greedy:
+		return sched.NewGreedy(), nil
+	case AutoBraid:
+		return sched.NewAutoBraid(), nil
+	case RESCQ:
+		return core.New(core.Config{K: opts.K, TauMST: opts.TauMST}), nil
+	}
+	return nil, fmt.Errorf("rescq: unknown scheduler %q", opts.Scheduler)
+}

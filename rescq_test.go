@@ -1,0 +1,137 @@
+package rescq
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBenchmarksList(t *testing.T) {
+	bs := Benchmarks()
+	if len(bs) != 23 {
+		t.Fatalf("Benchmarks = %d entries, want 23", len(bs))
+	}
+	if bs[0].Name != "ising_n34" {
+		t.Errorf("first benchmark = %s, want ising_n34 (Table 3 order)", bs[0].Name)
+	}
+}
+
+func TestRunFacade(t *testing.T) {
+	sum, err := Run("vqe_n13", Options{Scheduler: RESCQ, Runs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.MeanCycles <= 0 || len(sum.Runs) != 2 {
+		t.Errorf("summary = %+v", sum)
+	}
+	if sum.MinCycles > sum.MaxCycles {
+		t.Error("min > max")
+	}
+}
+
+func TestRunUnknownBenchmark(t *testing.T) {
+	if _, err := Run("nope", Options{}); err == nil {
+		t.Error("unknown benchmark should error")
+	}
+}
+
+func TestOptionsValidate(t *testing.T) {
+	bad := []Options{
+		{Scheduler: "mystery"},
+		{Distance: 4},
+		{PhysError: 0.9},
+		{Compression: 1.5},
+		{Runs: -1},
+	}
+	for _, o := range bad {
+		if err := o.Validate(); err == nil {
+			t.Errorf("options %+v should be invalid", o)
+		}
+	}
+	if err := (Options{}).Validate(); err != nil {
+		t.Errorf("default options should validate: %v", err)
+	}
+}
+
+func TestRunCircuitText(t *testing.T) {
+	text := "qubits 3\n3\nh 0\ncx 0 1\nrz 1 pi/3\n"
+	sum, err := RunCircuitText("hand", text, Options{Scheduler: Greedy, Runs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.MeanCycles <= 0 {
+		t.Error("nonpositive cycles")
+	}
+	if _, err := RunCircuitText("bad", "not a circuit", Options{}); err == nil {
+		t.Error("garbage circuit should error")
+	}
+}
+
+func TestBenchmarkCircuitTextRoundTrip(t *testing.T) {
+	text, err := BenchmarkCircuitText("vqe_n13")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := RunCircuitText("vqe_n13", text, Options{Scheduler: AutoBraid, Runs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.MeanCycles <= 0 {
+		t.Error("round-tripped circuit did not run")
+	}
+	if _, err := BenchmarkCircuitText("nope"); err == nil {
+		t.Error("unknown benchmark should error")
+	}
+}
+
+func TestRESCQBeatsBaselineFacade(t *testing.T) {
+	base, err := Run("gcm_n13", Options{Scheduler: Greedy, Runs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rq, err := Run("gcm_n13", Options{Scheduler: RESCQ, Runs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rq.MeanCycles >= base.MeanCycles {
+		t.Errorf("RESCQ %v cycles should beat greedy %v", rq.MeanCycles, base.MeanCycles)
+	}
+}
+
+func TestCompressionOption(t *testing.T) {
+	sum, err := Run("vqe_n13", Options{Scheduler: RESCQ, Runs: 1, Compression: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.MeanCycles <= 0 {
+		t.Error("compressed run failed")
+	}
+}
+
+func TestExperimentDispatch(t *testing.T) {
+	for _, id := range []string{"table1", "table3", "fig3", "fig15", "fig16", "appendixA2"} {
+		out, err := Experiment(id, true)
+		if err != nil {
+			t.Errorf("%s: %v", id, err)
+			continue
+		}
+		if len(out) == 0 {
+			t.Errorf("%s: empty output", id)
+		}
+	}
+	if _, err := Experiment("bogus", true); err == nil {
+		t.Error("unknown experiment should error")
+	}
+}
+
+func TestExperimentQuickSimulationBacked(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed experiment")
+	}
+	out, err := Experiment("fig5", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "CNOT latency") {
+		t.Error("fig5 output incomplete")
+	}
+}
