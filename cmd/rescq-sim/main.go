@@ -32,6 +32,7 @@ func main() {
 		compression = flag.Float64("compression", 0, "grid compression fraction in [0,1]")
 		runs        = flag.Int("runs", 10, "seeded runs")
 		seed        = flag.Int64("seed", 1, "base seed")
+		parallel    = flag.Bool("parallel", false, "run seeds concurrently on a bounded worker pool (same results as serial)")
 		list        = flag.Bool("list", false, "list benchmarks and exit")
 	)
 	flag.Parse()
@@ -48,6 +49,7 @@ func main() {
 		Benchmark: *bench, CircuitFile: *circuitFile, Scheduler: *scheduler,
 		Distance: *distance, PhysError: *physErr, K: *k, TauMST: *tau,
 		Compression: *compression, NumberOfRuns: *runs, Seed: *seed,
+		Parallel: *parallel,
 	}.WithDefaults()
 	if *cfgPath != "" {
 		loaded, err := config.Load(*cfgPath)
@@ -69,6 +71,7 @@ func main() {
 		Compression: cfg.Compression,
 		Runs:        cfg.NumberOfRuns,
 		Seed:        cfg.Seed,
+		Parallel:    cfg.Parallel,
 	}
 
 	var (

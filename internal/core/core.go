@@ -21,9 +21,8 @@
 package core
 
 import (
-	"sort"
-
 	"repro/internal/circuit"
+	"repro/internal/lattice"
 	"repro/internal/sim"
 )
 
@@ -84,11 +83,23 @@ type Scheduler struct {
 	queues *queueSet
 	mst    *mstPipeline
 
-	gates   []*gateState
-	byNode  map[int]*gateState // only live gates
-	live    []int              // live node ids in enqueue order
-	pending []int              // ready nodes awaiting planning/enqueue
-	staged  []bool             // node already staged for enqueue (dedup guard)
+	gates   []*gateState // node -> live gate state, nil once completed
+	live    []int        // live node ids in enqueue order
+	pending []int        // ready nodes awaiting planning/enqueue
+	staged  []bool       // node already staged for enqueue (dedup guard)
+
+	// expectedFree memoization, valid within one planning pass: efMark[anc]
+	// == efEpoch means efVal[anc] holds this pass's estimate.
+	efVal   []float64
+	efMark  []int32
+	efEpoch int32
+
+	pathBuf []int // reused by planCNOT's tree path queries
+
+	// nbrBufA/nbrBufB are reused by the per-cycle drive steps and the
+	// planners for AncillaNeighbors queries (two, because planCNOT needs
+	// the control and target neighbour sets alive at the same time).
+	nbrBufA, nbrBufB []lattice.Coord
 }
 
 // Name implements sim.Scheduler.
@@ -100,8 +111,10 @@ func (s *Scheduler) Init(st *sim.State) error {
 	s.queues = newQueueSet(st.Grid().NumAncilla())
 	s.mst = newMSTPipeline(st, s.cfg)
 	s.gates = make([]*gateState, dag.Len())
-	s.byNode = make(map[int]*gateState)
 	s.staged = make([]bool, dag.Len())
+	s.efVal = make([]float64, st.Grid().NumAncilla())
+	s.efMark = make([]int32, st.Grid().NumAncilla())
+	s.efEpoch = 0
 	for n := 0; n < dag.Len(); n++ {
 		if st.Status(n) == sim.GateReady {
 			s.staged[n] = true
@@ -125,17 +138,23 @@ func (s *Scheduler) enqueuePending(st *sim.State) {
 		return
 	}
 	dag := st.DAG()
-	sort.Slice(s.pending, func(a, b int) bool {
-		ha, hb := dag.Height(s.pending[a]), dag.Height(s.pending[b])
+	// Insertion sort: the pending set is small most cycles, and this
+	// avoids sort.Slice's per-call closure and swapper allocations.
+	less := func(a, b int) bool {
+		ha, hb := dag.Height(a), dag.Height(b)
 		if ha != hb {
 			return ha > hb
 		}
-		return s.pending[a] < s.pending[b]
-	})
+		return a < b
+	}
+	for i := 1; i < len(s.pending); i++ {
+		for j := i; j > 0 && less(s.pending[j], s.pending[j-1]); j-- {
+			s.pending[j], s.pending[j-1] = s.pending[j-1], s.pending[j]
+		}
+	}
 	for _, n := range s.pending {
 		gs := s.plan(st, n)
 		s.gates[n] = gs
-		s.byNode[n] = gs
 		s.live = append(s.live, n)
 		for _, anc := range gs.ancs {
 			s.queues.enqueue(anc, n)
@@ -148,7 +167,7 @@ func (s *Scheduler) enqueuePending(st *sim.State) {
 func (s *Scheduler) drive(st *sim.State) {
 	w := 0
 	for _, n := range s.live {
-		gs := s.byNode[n]
+		gs := s.gates[n]
 		if gs == nil || gs.done {
 			continue // completed; compact away
 		}
@@ -168,7 +187,10 @@ func (s *Scheduler) drive(st *sim.State) {
 
 // OnOpDone implements sim.Scheduler.
 func (s *Scheduler) OnOpDone(st *sim.State, op *sim.Op, success bool) {
-	gs := s.byNode[op.Node]
+	if op.Node < 0 {
+		return // helper op not attributed to a gate
+	}
+	gs := s.gates[op.Node]
 	if gs == nil || gs.done {
 		return
 	}
@@ -199,7 +221,7 @@ func (s *Scheduler) complete(st *sim.State, gs *gateState) {
 		s.dropPreps(st, gs, circuit.Angle{}, true)
 	}
 	st.CompleteGate(gs.node)
-	delete(s.byNode, gs.node)
+	s.gates[gs.node] = nil
 	for _, succ := range st.DAG().Succ(gs.node) {
 		if st.Status(succ) == sim.GateReady && !s.staged[succ] {
 			s.staged[succ] = true

@@ -26,7 +26,7 @@ func TestDebugQAOAFSwap(t *testing.T) {
 	fmt.Println("ERR:", err)
 	count := 0
 	for _, n := range s.live {
-		gs := s.byNode[n]
+		gs := s.gates[n]
 		if gs == nil || gs.done {
 			continue
 		}

@@ -129,8 +129,8 @@ func (s *Scheduler) driveRzRotation(st *sim.State, gs *gateState) {
 		return
 	}
 	grid := st.Grid()
-	var buf []lattice.Coord
-	for _, c := range grid.AncillaNeighbors(grid.DataTile(gs.q), buf) {
+	s.nbrBufA = grid.AncillaNeighbors(grid.DataTile(gs.q), s.nbrBufA[:0])
+	for _, c := range s.nbrBufA {
 		if s.tileReady(st, c, gs.node) {
 			if _, err := st.StartEdgeRotation(gs.node, gs.q, c); err == nil {
 				gs.rotBusy = true
@@ -169,8 +169,8 @@ func (s *Scheduler) driveH(st *sim.State, gs *gateState) {
 		return
 	}
 	grid := st.Grid()
-	var buf []lattice.Coord
-	for _, c := range grid.AncillaNeighbors(grid.DataTile(gs.q), buf) {
+	s.nbrBufA = grid.AncillaNeighbors(grid.DataTile(gs.q), s.nbrBufA[:0])
+	for _, c := range s.nbrBufA {
 		if s.tileReady(st, c, gs.node) {
 			if _, err := st.StartHadamard(gs.node, gs.q, c); err == nil {
 				gs.opBusy = true

@@ -11,12 +11,30 @@ import (
 // later. Routing therefore always uses a tree whose weights are stale by
 // at least TauMST cycles — the paper shows (section 5.2.3) this staleness
 // is nearly free, which our Figure 13 reproduction confirms.
+//
+// Between snapshots only edge weights change, so the pipeline maintains
+// one working minimum spanning forest incrementally via the paper's
+// O(k*sqrt(n)) single-edge update (section 5.4.1) and clones it for each
+// publication, falling back to one allocation-free full KruskalInto
+// recompute when a snapshot changes a large fraction of the edges.
+// Published trees that rotate out of use are recycled through a free list,
+// so steady-state ticking allocates nothing.
 type mstPipeline struct {
 	k, tau int
 	g      *graph.Graph
 	eps    []float64 // per-edge deterministic tie-break jitter
 	cur    *graph.Tree
 	jobs   []mstJob
+	free   []*graph.Tree // retired published trees, reused as clone targets
+
+	// work is the minimum spanning forest of the latest snapshot,
+	// maintained incrementally between snapshots.
+	work  *graph.Tree
+	dsu   *graph.DSU
+	order []int32
+
+	chgID []int32 // scratch: edges whose weight changed this snapshot
+	chgW  []float64
 }
 
 type mstJob struct {
@@ -27,6 +45,12 @@ type mstJob struct {
 // epsScale bounds the tie-break jitter well below one activity quantum
 // (1/ActivityWindow), so it only decides ties, never real differences.
 const epsScale = 0.004
+
+// fullRebuildFraction is the incremental-vs-full crossover: when a
+// snapshot changes more than this fraction of the edges, one O(E) full
+// recompute is cheaper than that many incremental updates (and doubles as
+// the correctness fallback for pathological batches).
+const fullRebuildFraction = 0.25
 
 func newMSTPipeline(st *sim.State, cfg Config) *mstPipeline {
 	g := st.Grid().AncillaGraph(cfg.ActivityFloor)
@@ -46,7 +70,10 @@ func newMSTPipeline(st *sim.State, cfg Config) *mstPipeline {
 	}
 	// The initial tree is computed at compile time (all activities zero)
 	// and available from cycle one.
-	m.cur = graph.Kruskal(g)
+	m.dsu = graph.NewDSU(g.NumVertices())
+	m.order = make([]int32, g.NumEdges())
+	m.work = graph.KruskalInto(g, nil, m.dsu, m.order)
+	m.cur = m.work.CloneInto(nil)
 	return m
 }
 
@@ -62,28 +89,57 @@ func splitmixUnit(x uint64) float64 {
 // tick publishes any due computation and starts a new one every k cycles.
 func (m *mstPipeline) tick(st *sim.State) {
 	for len(m.jobs) > 0 && m.jobs[0].publishAt <= st.Cycle() {
+		m.free = append(m.free, m.cur)
 		m.cur = m.jobs[0].tree
-		m.jobs = m.jobs[1:]
+		// Shift instead of reslicing: m.jobs = m.jobs[1:] would pin the
+		// backing array's consumed head slots (and their trees) forever.
+		n := copy(m.jobs, m.jobs[1:])
+		m.jobs[n] = mstJob{}
+		m.jobs = m.jobs[:n]
 	}
 	if (st.Cycle()-1)%m.k == 0 {
-		m.snapshotWeights(st)
+		m.refresh(st)
+		var dst *graph.Tree
+		if n := len(m.free); n > 0 {
+			dst = m.free[n-1]
+			m.free[n-1] = nil
+			m.free = m.free[:n-1]
+		}
 		m.jobs = append(m.jobs, mstJob{
 			publishAt: st.Cycle() + m.tau,
-			tree:      graph.Kruskal(m.g),
+			tree:      m.work.CloneInto(dst),
 		})
 	}
 }
 
-// snapshotWeights sets every edge's weight to the max of its endpoints'
-// sliding-window activity (paper section 4.2 / Figure 9).
-func (m *mstPipeline) snapshotWeights(st *sim.State) {
+// refresh applies the activity snapshot (paper section 4.2 / Figure 9:
+// each edge weighs the max of its endpoints' sliding-window activity) to
+// the working tree. Edges whose weight actually changed go through
+// Tree.UpdateWeight one at a time; a batch above fullRebuildFraction of
+// the graph triggers one full allocation-free recompute instead.
+func (m *mstPipeline) refresh(st *sim.State) {
+	m.chgID, m.chgW = m.chgID[:0], m.chgW[:0]
 	for e := 0; e < m.g.NumEdges(); e++ {
 		ed := m.g.Edge(e)
 		w := st.Activity(ed.U)
 		if a := st.Activity(ed.V); a > w {
 			w = a
 		}
-		m.g.SetWeight(e, w+m.eps[e])
+		w += m.eps[e]
+		if w != ed.W {
+			m.chgID = append(m.chgID, int32(e))
+			m.chgW = append(m.chgW, w)
+		}
+	}
+	if len(m.chgID) > int(fullRebuildFraction*float64(m.g.NumEdges())) {
+		for i, e := range m.chgID {
+			m.g.SetWeight(int(e), m.chgW[i])
+		}
+		graph.KruskalInto(m.g, m.work, m.dsu, m.order)
+		return
+	}
+	for i, e := range m.chgID {
+		m.work.UpdateWeight(int(e), m.chgW[i])
 	}
 }
 

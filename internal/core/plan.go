@@ -73,16 +73,14 @@ func (s *Scheduler) plan(st *sim.State, n int) *gateState {
 // heavily compressed grids), the gate first performs an edge rotation.
 func (s *Scheduler) planRz(st *sim.State, gs *gateState) {
 	grid := st.Grid()
-	seen := map[int]bool{}
 	reserve := func(c lattice.Coord) {
 		id := grid.AncillaID(c)
-		if id >= 0 && !seen[id] {
-			seen[id] = true
+		if id >= 0 && !containsInt(gs.ancs, id) {
 			gs.ancs = append(gs.ancs, id)
 		}
 	}
-	var buf []lattice.Coord
-	for _, c := range grid.AncillaNeighbors(grid.DataTile(gs.q), buf) {
+	s.nbrBufA = grid.AncillaNeighbors(grid.DataTile(gs.q), s.nbrBufA[:0])
+	for _, c := range s.nbrBufA {
 		reserve(c)
 	}
 	for _, c := range grid.DiagonalAncillas(gs.q) {
@@ -123,8 +121,8 @@ func rzCandidates(grid *lattice.Grid, q int) []injCand {
 // whichever reaches the gate first.
 func (s *Scheduler) planH(st *sim.State, gs *gateState) {
 	grid := st.Grid()
-	var buf []lattice.Coord
-	for _, c := range grid.AncillaNeighbors(grid.DataTile(gs.q), buf) {
+	s.nbrBufA = grid.AncillaNeighbors(grid.DataTile(gs.q), s.nbrBufA[:0])
+	for _, c := range s.nbrBufA {
 		if id := grid.AncillaID(c); id >= 0 {
 			gs.ancs = append(gs.ancs, id)
 		}
@@ -147,10 +145,11 @@ func (s *Scheduler) planCNOT(st *sim.State, gs *gateState) {
 	}
 	grid := st.Grid()
 	tree := s.mst.current()
+	s.efEpoch++ // new planning pass: invalidate the expectedFree memo
 
-	var cBuf, tBuf []lattice.Coord
-	cNbrs := grid.AncillaNeighbors(grid.DataTile(gs.control), cBuf)
-	tNbrs := grid.AncillaNeighbors(grid.DataTile(gs.target), tBuf)
+	s.nbrBufA = grid.AncillaNeighbors(grid.DataTile(gs.control), s.nbrBufA[:0])
+	s.nbrBufB = grid.AncillaNeighbors(grid.DataTile(gs.target), s.nbrBufB[:0])
+	cNbrs, tNbrs := s.nbrBufA, s.nbrBufB
 	zDirs := grid.ZEdgeDirs(gs.control)
 	xDirs := grid.XEdgeDirs(gs.target)
 	cTile := grid.DataTile(gs.control)
@@ -164,7 +163,8 @@ func (s *Scheduler) planCNOT(st *sim.State, gs *gateState) {
 		for _, eT := range tNbrs {
 			rotT := eT != tTile.Step(xDirs[0]) && eT != tTile.Step(xDirs[1])
 			v := grid.AncillaID(eT)
-			ids := tree.Path(u, v)
+			ids := tree.PathInto(s.pathBuf, u, v)
+			s.pathBuf = ids[:0]
 			if ids == nil {
 				continue
 			}
@@ -212,14 +212,27 @@ func (s *Scheduler) planCNOT(st *sim.State, gs *gateState) {
 		// data qubit lost all neighbours, which Compress forbids.
 		panic("core: no CNOT plan found")
 	}
-	seen := map[int]bool{}
+	collectPathAncs(grid, gs)
+}
+
+// collectPathAncs fills gs.ancs with the distinct ancilla IDs along
+// gs.path. Paths are short, so a linear containment scan beats a map.
+func collectPathAncs(grid *lattice.Grid, gs *gateState) {
 	for _, c := range gs.path {
 		id := grid.AncillaID(c)
-		if !seen[id] {
-			seen[id] = true
+		if !containsInt(gs.ancs, id) {
 			gs.ancs = append(gs.ancs, id)
 		}
 	}
+}
+
+func containsInt(s []int, x int) bool {
+	for _, v := range s {
+		if v == x {
+			return true
+		}
+	}
+	return false
 }
 
 // planCNOTShortest is the DisableMSTRouting ablation: pick the plain BFS
@@ -231,34 +244,33 @@ func (s *Scheduler) planCNOTShortest(st *sim.State, gs *gateState) {
 	srcs := grid.ZEdgeAncillas(gs.control)
 	if len(srcs) == 0 {
 		gs.rotC = true
-		var buf []lattice.Coord
-		srcs = grid.AncillaNeighbors(grid.DataTile(gs.control), buf)
+		s.nbrBufA = grid.AncillaNeighbors(grid.DataTile(gs.control), s.nbrBufA[:0])
+		srcs = s.nbrBufA
 	}
 	dsts := grid.XEdgeAncillas(gs.target)
 	if len(dsts) == 0 {
 		gs.rotT = true
-		var buf []lattice.Coord
-		dsts = grid.AncillaNeighbors(grid.DataTile(gs.target), buf)
+		s.nbrBufB = grid.AncillaNeighbors(grid.DataTile(gs.target), s.nbrBufB[:0])
+		dsts = s.nbrBufB
 	}
 	path := grid.ShortestAncillaPath(srcs, dsts, nil)
 	if path == nil {
 		panic("core: no shortest-path CNOT plan found")
 	}
 	gs.path = path
-	seen := map[int]bool{}
-	for _, c := range gs.path {
-		id := grid.AncillaID(c)
-		if !seen[id] {
-			seen[id] = true
-			gs.ancs = append(gs.ancs, id)
-		}
-	}
+	collectPathAncs(grid, gs)
 }
 
 // expectedFree estimates when ancilla anc will be free: the expected
 // remaining time of its current op plus the expected cost of every queued
-// gate (paper: E[f_a] = sum over queue of E[tau_o]).
+// gate (paper: E[f_a] = sum over queue of E[tau_o]). The estimate is
+// memoized per planning pass (see efEpoch): planCNOT scores up to 16
+// candidate paths that revisit the same ancillas, and nothing starts or
+// finishes between those scores, so one computation per ancilla suffices.
 func (s *Scheduler) expectedFree(st *sim.State, anc int) float64 {
+	if s.efMark[anc] == s.efEpoch {
+		return s.efVal[anc]
+	}
 	grid := st.Grid()
 	tile := grid.AncillaTile(anc)
 	est := 0.0
@@ -267,7 +279,7 @@ func (s *Scheduler) expectedFree(st *sim.State, anc int) float64 {
 	}
 	prepCost := st.PrepExpectedCycles() + 2 // prep + injection estimate
 	for _, n := range s.queues.q[anc] {
-		gs := s.byNode[n]
+		gs := s.gates[n]
 		if gs == nil {
 			continue
 		}
@@ -283,5 +295,7 @@ func (s *Scheduler) expectedFree(st *sim.State, anc int) float64 {
 			est += sim.HadamardCycles
 		}
 	}
+	s.efMark[anc] = s.efEpoch
+	s.efVal[anc] = est
 	return est
 }

@@ -47,17 +47,26 @@ func Ablation(o Options) (AblationResult, error) {
 		circ := spec.Circuit()
 		res.Cycles[bench] = map[string]float64{}
 		cells := []any{bench}
-		for _, v := range ablationVariants {
-			var results []*sim.Result
-			for i := 0; i < o.Runs; i++ {
-				g := lattice.NewSTARGrid(circ.NumQubits)
-				r, err := sim.RunSeeded(g, circ, o.simConfig(), o.BaseSeed+int64(i), core.New(v.cfg))
-				if err != nil {
-					return res, err
-				}
-				results = append(results, r)
+		// Every (variant, seed) run is independent; fan them out over the
+		// shared pool and aggregate per variant in seed order.
+		results := make([][]*sim.Result, len(ablationVariants))
+		for vi := range results {
+			results[vi] = make([]*sim.Result, o.Runs)
+		}
+		errs := make([]error, len(ablationVariants)*o.Runs)
+		sim.ParallelFor(len(errs), 0, func(u int) {
+			vi, i := u/o.Runs, u%o.Runs
+			g := lattice.NewSTARGrid(circ.NumQubits)
+			results[vi][i], errs[u] = sim.RunSeeded(g, circ, o.simConfig(),
+				o.BaseSeed+int64(i), core.New(ablationVariants[vi].cfg))
+		})
+		for _, err := range errs {
+			if err != nil {
+				return res, err
 			}
-			agg := sim.AggregateResults(results)
+		}
+		for vi, v := range ablationVariants {
+			agg := sim.AggregateResults(results[vi])
 			res.Cycles[bench][v.name] = agg.MeanCycles
 			cells = append(cells, fmt.Sprintf("%.0f", agg.MeanCycles))
 		}

@@ -8,7 +8,6 @@ package experiments
 import (
 	"fmt"
 	"math/rand"
-	"sync"
 
 	"repro/internal/circuit"
 	"repro/internal/core"
@@ -93,51 +92,82 @@ func makeScheduler(name string, k int) (sim.Scheduler, error) {
 	}
 }
 
+// runJob names one simulation configuration inside a batch: a benchmark, a
+// scheduler, RESCQ's k, a compression fraction, and the sweep options whose
+// Runs/BaseSeed/Distance/PhysError apply to it.
+type runJob struct {
+	o           Options
+	bench       string
+	sched       string
+	k           int
+	compression float64
+}
+
+// runJobs executes a whole batch of configurations on one bounded worker
+// pool (sim.ParallelFor), fanning out over every (configuration, seed)
+// pair so sweeps saturate all cores even at one seed per configuration.
+// The returned aggregates are in input order; each seeded run is
+// self-contained (own grid, scheduler, RNG) and aggregation happens in
+// seed order, so results are byte-identical to a serial loop regardless of
+// goroutine completion order.
+func runJobs(jobs []runJob) ([]sim.Aggregate, error) {
+	type unit struct{ job, run int }
+	var units []unit
+	results := make([][]*sim.Result, len(jobs))
+	circs := make([]*circuit.Circuit, len(jobs))
+	for j := range jobs {
+		jobs[j].o = jobs[j].o.withDefaults()
+		spec, ok := qbench.ByName(jobs[j].bench)
+		if !ok {
+			return nil, fmt.Errorf("experiments: unknown benchmark %q", jobs[j].bench)
+		}
+		circs[j] = spec.Circuit()
+		results[j] = make([]*sim.Result, jobs[j].o.Runs)
+		for i := 0; i < jobs[j].o.Runs; i++ {
+			units = append(units, unit{j, i})
+		}
+	}
+	errs := make([]error, len(units))
+	sim.ParallelFor(len(units), 0, func(u int) {
+		j, i := units[u].job, units[u].run
+		jb := jobs[j]
+		g := lattice.NewSTARGrid(circs[j].NumQubits)
+		if jb.compression > 0 {
+			// The compression layout is part of the architecture, not the
+			// stochastic run: derive its seed from the benchmark so all
+			// schedulers see the same compressed grid per run index.
+			g.Compress(jb.compression, rand.New(rand.NewSource(int64(len(jb.bench))*1315423911+int64(i))))
+		}
+		s, err := makeScheduler(jb.sched, jb.k)
+		if err != nil {
+			errs[u] = err
+			return
+		}
+		// Sharing circs[j] across goroutines is safe: RunSeeded builds
+		// its own DAG and treats the circuit as read-only.
+		results[j][i], errs[u] = sim.RunSeeded(g, circs[j], jb.o.simConfig(), jb.o.BaseSeed+int64(i), s)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	aggs := make([]sim.Aggregate, len(jobs))
+	for j := range jobs {
+		aggs[j] = sim.AggregateResults(results[j])
+	}
+	return aggs, nil
+}
+
 // runConfig simulates one benchmark under one scheduler for o.Runs seeds on
 // a fresh grid per run (compression fraction applied when > 0) and pools
 // the results.
 func runConfig(o Options, benchName, schedName string, k int, compression float64) (sim.Aggregate, error) {
-	spec, ok := qbench.ByName(benchName)
-	if !ok {
-		return sim.Aggregate{}, fmt.Errorf("experiments: unknown benchmark %q", benchName)
+	aggs, err := runJobs([]runJob{{o: o, bench: benchName, sched: schedName, k: k, compression: compression}})
+	if err != nil {
+		return sim.Aggregate{}, err
 	}
-	// Runs are independent (own grid, scheduler and RNG), so they execute
-	// in parallel; results stay deterministic because each seed's run is
-	// self-contained.
-	circ := spec.Circuit()
-	results := make([]*sim.Result, o.Runs)
-	errs := make([]error, o.Runs)
-	var wg sync.WaitGroup
-	for i := 0; i < o.Runs; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			seed := o.BaseSeed + int64(i)
-			g := lattice.NewSTARGrid(circ.NumQubits)
-			if compression > 0 {
-				// The compression layout is part of the architecture,
-				// not the stochastic run: derive its seed from the
-				// benchmark so all schedulers see the same compressed
-				// grid per run index.
-				g.Compress(compression, rand.New(rand.NewSource(int64(len(benchName))*1315423911+int64(i))))
-			}
-			s, err := makeScheduler(schedName, k)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			// Sharing circ across goroutines is safe: RunSeeded builds
-			// its own DAG and treats the circuit as read-only.
-			results[i], errs[i] = sim.RunSeeded(g, circ, o.simConfig(), seed, s)
-		}(i)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return sim.Aggregate{}, err
-		}
-	}
-	return sim.AggregateResults(results), nil
+	return aggs[0], nil
 }
 
 // sweep helpers ---------------------------------------------------------

@@ -63,13 +63,22 @@ func Figure5(o Options) (Figure5Result, error) {
 	}
 	var sb strings.Builder
 	sb.WriteString("Figure 5: per-gate completion latency after scheduling (pooled over benchmarks)\n\n")
-	for _, schedName := range []string{"autobraid", "rescq"} {
+	scheds := []string{"autobraid", "rescq"}
+	benches := o.benchList()
+	var jobs []runJob
+	for _, schedName := range scheds {
+		for _, bench := range benches {
+			jobs = append(jobs, runJob{o: o, bench: bench, sched: schedName})
+		}
+	}
+	aggs, err := runJobs(jobs)
+	if err != nil {
+		return res, err
+	}
+	for si, schedName := range scheds {
 		hc, hr := metrics.NewHistogram(), metrics.NewHistogram()
-		for _, bench := range o.benchList() {
-			agg, err := runConfig(o, bench, schedName, 0, 0)
-			if err != nil {
-				return res, err
-			}
+		for bi := range benches {
+			agg := aggs[si*len(benches)+bi]
 			hc.AddAll(agg.CNOTLatencies)
 			hr.AddAll(agg.RzLatencies)
 		}
@@ -115,24 +124,31 @@ func Figure10(o Options) (Figure10Result, error) {
 	if o.Quick {
 		ks = []int{25, 100}
 	}
-	for _, bench := range o.benchList() {
+	benches := o.benchList()
+	// One flat batch over every benchmark and scheduler configuration so
+	// the whole figure shares the worker pool.
+	stride := 2 + len(ks)
+	var jobs []runJob
+	for _, bench := range benches {
+		jobs = append(jobs,
+			runJob{o: o, bench: bench, sched: "greedy"},
+			runJob{o: o, bench: bench, sched: "autobraid"})
+		for _, k := range ks {
+			jobs = append(jobs, runJob{o: o, bench: bench, sched: "rescq", k: k})
+		}
+	}
+	aggs, err := runJobs(jobs)
+	if err != nil {
+		return res, err
+	}
+	for bi, bench := range benches {
 		row := Figure10Row{Bench: bench, RescqByK: map[int]float64{}}
-		g, err := runConfig(o, bench, "greedy", 0, 0)
-		if err != nil {
-			return res, err
-		}
-		a, err := runConfig(o, bench, "autobraid", 0, 0)
-		if err != nil {
-			return res, err
-		}
+		g, a := aggs[bi*stride], aggs[bi*stride+1]
 		row.Greedy, row.AutoBraid = g.MeanCycles, a.MeanCycles
 		bestK := 0
 		row.RescqBest = 0
-		for _, k := range ks {
-			r, err := runConfig(o, bench, "rescq", k, 0)
-			if err != nil {
-				return res, err
-			}
+		for ki, k := range ks {
+			r := aggs[bi*stride+2+ki]
 			row.RescqByK[k] = r.MeanCycles
 			if row.RescqBest == 0 || r.MeanCycles < row.RescqBest {
 				row.RescqBest = r.MeanCycles
@@ -204,19 +220,33 @@ func sweep(o Options, title, xName string, xs []float64, apply func(Options, int
 		Xs:     xs,
 	}
 	var sb strings.Builder
-	for _, bench := range o.representative() {
+	benches := o.representative()
+	// Flatten the whole bench x scheduler x sweep-value space into one
+	// batch; results come back in input order, so a cursor walks them in
+	// the same nesting below.
+	var jobs []runJob
+	for _, bench := range benches {
+		for _, schedName := range SchedulerNames {
+			for i := range xs {
+				jobs = append(jobs, runJob{o: apply(o, i), bench: bench, sched: schedName, k: 25})
+			}
+		}
+	}
+	aggs, err := runJobs(jobs)
+	if err != nil {
+		return res, err
+	}
+	idx := 0
+	for _, bench := range benches {
 		res.Cycles[bench] = map[string][]float64{}
 		res.Idle[bench] = map[string][]float64{}
 		var cyc, idle []metrics.Series
 		for _, schedName := range SchedulerNames {
 			sc := metrics.Series{Label: schedName, X: xs}
 			si := metrics.Series{Label: schedName, X: xs}
-			for i := range xs {
-				oo := apply(o, i)
-				agg, err := runConfig(oo, bench, schedName, 25, 0)
-				if err != nil {
-					return res, err
-				}
+			for range xs {
+				agg := aggs[idx]
+				idx++
 				sc.Y = append(sc.Y, agg.MeanCycles)
 				si.Y = append(si.Y, agg.MeanIdle)
 			}
@@ -250,37 +280,52 @@ func Figure13(o Options) (Figure13Result, error) {
 	if o.Quick {
 		ks = []int{25, 200}
 	}
-	for _, bench := range o.representative() {
+	// Every (bench, d-or-p label, k) point is an independent RESCQ run;
+	// flatten them all into one pool batch, then walk the aggregates with
+	// a cursor in the same nesting order.
+	type labelled struct {
+		label string
+		oo    Options
+	}
+	var labels []labelled
+	for _, d := range o.distances() {
+		oo := o
+		oo.Distance = d
+		labels = append(labels, labelled{fmt.Sprintf("d=%d", d), oo})
+	}
+	for _, p := range o.errorRates() {
+		oo := o
+		oo.PhysError = p
+		labels = append(labels, labelled{fmt.Sprintf("p=%.0e", p), oo})
+	}
+	benches := o.representative()
+	var jobs []runJob
+	for _, bench := range benches {
+		for _, l := range labels {
+			for _, k := range ks {
+				jobs = append(jobs, runJob{o: l.oo, bench: bench, sched: "rescq", k: k})
+			}
+		}
+	}
+	aggs, err := runJobs(jobs)
+	if err != nil {
+		return res, err
+	}
+	idx := 0
+	for _, bench := range benches {
 		res.Cycles[bench] = map[string]map[int]float64{}
 		var series []metrics.Series
-		record := func(label string, oo Options) error {
-			res.Cycles[bench][label] = map[int]float64{}
-			s := metrics.Series{Label: label}
+		for _, l := range labels {
+			res.Cycles[bench][l.label] = map[int]float64{}
+			s := metrics.Series{Label: l.label}
 			for _, k := range ks {
-				agg, err := runConfig(oo, bench, "rescq", k, 0)
-				if err != nil {
-					return err
-				}
-				res.Cycles[bench][label][k] = agg.MeanCycles
+				agg := aggs[idx]
+				idx++
+				res.Cycles[bench][l.label][k] = agg.MeanCycles
 				s.X = append(s.X, float64(k))
 				s.Y = append(s.Y, agg.MeanCycles)
 			}
 			series = append(series, s)
-			return nil
-		}
-		for _, d := range o.distances() {
-			oo := o
-			oo.Distance = d
-			if err := record(fmt.Sprintf("d=%d", d), oo); err != nil {
-				return res, err
-			}
-		}
-		for _, p := range o.errorRates() {
-			oo := o
-			oo.PhysError = p
-			if err := record(fmt.Sprintf("p=%.0e", p), oo); err != nil {
-				return res, err
-			}
 		}
 		sb.WriteString(metrics.RenderSeries(
 			fmt.Sprintf("Figure 13: RESCQ sensitivity to k — %s (execution cycles)", bench), "k", series))
@@ -304,16 +349,28 @@ func Figure14(o Options) (Figure14Result, error) {
 	comps := o.compressions()
 	res := Figure14Result{Cycles: map[string]map[string][]float64{}, Compressions: comps}
 	var sb strings.Builder
-	for _, bench := range o.representative() {
+	benches := o.representative()
+	var jobs []runJob
+	for _, bench := range benches {
+		for _, schedName := range SchedulerNames {
+			for _, c := range comps {
+				jobs = append(jobs, runJob{o: o, bench: bench, sched: schedName, k: 25, compression: c})
+			}
+		}
+	}
+	aggs, err := runJobs(jobs)
+	if err != nil {
+		return res, err
+	}
+	idx := 0
+	for _, bench := range benches {
 		res.Cycles[bench] = map[string][]float64{}
 		var series []metrics.Series
 		for _, schedName := range SchedulerNames {
 			s := metrics.Series{Label: schedName}
 			for _, c := range comps {
-				agg, err := runConfig(o, bench, schedName, 25, c)
-				if err != nil {
-					return res, err
-				}
+				agg := aggs[idx]
+				idx++
 				s.X = append(s.X, 100*c)
 				s.Y = append(s.Y, agg.MeanCycles)
 			}

@@ -9,7 +9,6 @@ package graph
 
 import (
 	"fmt"
-	"sort"
 )
 
 // Edge is an undirected weighted edge between vertices U and V.
@@ -78,9 +77,9 @@ func (g *Graph) Other(id, v int) int {
 // IncidentEdges returns the IDs of edges incident to v (shared slice).
 func (g *Graph) IncidentEdges(v int) []int32 { return g.adj[v] }
 
-// Connected reports whether all vertices with at least one incident edge,
-// plus isolated vertices excluded, form... — more precisely it reports
-// whether the whole vertex set is one connected component.
+// Connected reports whether the whole vertex set forms one connected
+// component (isolated vertices therefore make a non-empty graph
+// disconnected).
 func (g *Graph) Connected() bool {
 	if g.n == 0 {
 		return true
@@ -113,12 +112,23 @@ type DSU struct {
 
 // NewDSU returns a DSU over n singleton sets.
 func NewDSU(n int) *DSU {
-	d := &DSU{parent: make([]int32, n), size: make([]int32, n)}
+	d := &DSU{}
+	d.Reset(n)
+	return d
+}
+
+// Reset reinitializes the DSU to n singleton sets, reusing its storage when
+// it is already large enough.
+func (d *DSU) Reset(n int) {
+	if cap(d.parent) >= n {
+		d.parent, d.size = d.parent[:n], d.size[:n]
+	} else {
+		d.parent, d.size = make([]int32, n), make([]int32, n)
+	}
 	for i := range d.parent {
 		d.parent[i] = int32(i)
 		d.size[i] = 1
 	}
-	return d
 }
 
 // Find returns the representative of x's set.
@@ -146,35 +156,6 @@ func (d *DSU) Union(a, b int) bool {
 
 // Same reports whether a and b are in the same set.
 func (d *DSU) Same(a, b int) bool { return d.Find(a) == d.Find(b) }
-
-// Kruskal computes a minimum spanning forest of g and returns it as a Tree.
-// Ties are broken by edge ID so the result is deterministic.
-func Kruskal(g *Graph) *Tree {
-	order := make([]int32, len(g.edges))
-	for i := range order {
-		order[i] = int32(i)
-	}
-	sort.Slice(order, func(a, b int) bool {
-		ea, eb := g.edges[order[a]], g.edges[order[b]]
-		if ea.W != eb.W {
-			return ea.W < eb.W
-		}
-		return order[a] < order[b]
-	})
-	t := &Tree{
-		g:      g,
-		inTree: make([]bool, len(g.edges)),
-		adj:    make([][]int32, g.n),
-	}
-	dsu := NewDSU(g.n)
-	for _, id := range order {
-		e := g.edges[id]
-		if dsu.Union(e.U, e.V) {
-			t.addTreeEdge(int(id))
-		}
-	}
-	return t
-}
 
 // GridGraph builds the rows x cols 4-neighbour grid graph with all edge
 // weights w0 — the structure used for the section 5.4.1 MST timing

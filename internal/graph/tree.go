@@ -18,6 +18,151 @@ type Tree struct {
 	markB      []int32 // side B stamp (smallerSide)
 	parentEdge []int32
 	stack      []int
+
+	// Reusable scratch for KruskalInto/CloneInto: the adjacency lists above
+	// are sub-slices of the flat CSR-style adjBuf, and the remaining
+	// buffers avoid per-recompute allocations.
+	adjBuf    []int32
+	deg       []int32
+	treeEdges []int32 // edge IDs chosen by the last KruskalInto
+	keys      []uint64
+	orderTmp  []int32
+
+	// Rooted path index, built lazily on the first path query and
+	// invalidated by any structural change. Published (read-only) trees
+	// pay one O(n) build and then answer every path query in O(path
+	// length) instead of an O(component) search.
+	rooted    bool
+	parentOf  []int32 // vertex -> tree edge toward the root, -1 at a root
+	parentVtx []int32 // vertex -> parent vertex, -1 at a root
+	depthOf   []int32
+	compOf    []int32 // vertex -> component id
+}
+
+// ensureRooted (re)builds the rooted index: one DFS per component
+// assigning parent edges, depths and component ids.
+func (t *Tree) ensureRooted() {
+	if t.rooted {
+		return
+	}
+	n := t.g.n
+	if cap(t.parentOf) >= n {
+		t.parentOf, t.parentVtx = t.parentOf[:n], t.parentVtx[:n]
+		t.depthOf, t.compOf = t.depthOf[:n], t.compOf[:n]
+	} else {
+		t.parentOf = make([]int32, n)
+		t.parentVtx = make([]int32, n)
+		t.depthOf = make([]int32, n)
+		t.compOf = make([]int32, n)
+	}
+	for i := range t.compOf {
+		t.compOf[i] = -1
+	}
+	stack := t.stack[:0]
+	comp := int32(0)
+	for r := 0; r < n; r++ {
+		if t.compOf[r] >= 0 {
+			continue
+		}
+		t.parentOf[r] = -1
+		t.parentVtx[r] = -1
+		t.depthOf[r] = 0
+		t.compOf[r] = comp
+		stack = append(stack, r)
+		for len(stack) > 0 {
+			x := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, id := range t.adj[x] {
+				y := t.g.Other(int(id), x)
+				if t.compOf[y] >= 0 {
+					continue
+				}
+				t.parentOf[y] = id
+				t.parentVtx[y] = int32(x)
+				t.depthOf[y] = t.depthOf[x] + 1
+				t.compOf[y] = comp
+				stack = append(stack, y)
+			}
+		}
+		comp++
+	}
+	t.stack = stack
+	t.rooted = true
+}
+
+// rebuildAdj lays the forest adjacency out as sub-slices of one flat
+// CSR-style backing array: count degrees, slice per-vertex ranges, then
+// scatter. Each per-vertex slice is capacity-capped so later incremental
+// appends (UpdateWeight swaps) copy out instead of clobbering a
+// neighbour's range.
+func (t *Tree) rebuildAdj(chosen []int32) {
+	t.rooted = false
+	n := t.g.n
+	if cap(t.deg) >= n {
+		t.deg = t.deg[:n]
+		for i := range t.deg {
+			t.deg[i] = 0
+		}
+	} else {
+		t.deg = make([]int32, n)
+	}
+	for _, id := range chosen {
+		e := t.g.edges[id]
+		t.deg[e.U]++
+		t.deg[e.V]++
+	}
+	need := 2 * len(chosen)
+	if cap(t.adjBuf) >= need {
+		t.adjBuf = t.adjBuf[:need]
+	} else {
+		t.adjBuf = make([]int32, need)
+	}
+	off := int32(0)
+	for v := 0; v < n; v++ {
+		end := off + t.deg[v]
+		t.adj[v] = t.adjBuf[off:off:end]
+		off = end
+	}
+	for _, id := range chosen {
+		e := t.g.edges[id]
+		t.adj[e.U] = append(t.adj[e.U], id)
+		t.adj[e.V] = append(t.adj[e.V], id)
+	}
+}
+
+// CloneInto copies t's forest structure into dst (sharing t's underlying
+// graph), reusing dst's storage where possible, and returns dst (or a
+// fresh tree when dst is nil). The MST pipeline uses it to freeze a
+// snapshot of an incrementally maintained tree for delayed publication.
+func (t *Tree) CloneInto(dst *Tree) *Tree {
+	if dst == nil {
+		dst = &Tree{}
+	}
+	dst.g = t.g
+	dst.rooted = false
+	dst.numEdges = t.numEdges
+	dst.inTree = append(dst.inTree[:0], t.inTree...)
+	if cap(dst.adj) >= t.g.n {
+		dst.adj = dst.adj[:t.g.n]
+	} else {
+		dst.adj = make([][]int32, t.g.n)
+	}
+	total := 0
+	for _, a := range t.adj {
+		total += len(a)
+	}
+	if cap(dst.adjBuf) >= total {
+		dst.adjBuf = dst.adjBuf[:total]
+	} else {
+		dst.adjBuf = make([]int32, total)
+	}
+	off := 0
+	for v, a := range t.adj {
+		end := off + copy(dst.adjBuf[off:off+len(a)], a)
+		dst.adj[v] = dst.adjBuf[off:end:end]
+		off = end
+	}
+	return dst
 }
 
 // scratch lazily sizes the reusable buffers and advances the epoch.
@@ -37,6 +182,7 @@ func (t *Tree) addTreeEdge(id int) {
 	t.adj[e.U] = append(t.adj[e.U], int32(id))
 	t.adj[e.V] = append(t.adj[e.V], int32(id))
 	t.numEdges++
+	t.rooted = false
 }
 
 func (t *Tree) removeTreeEdge(id int) {
@@ -45,6 +191,7 @@ func (t *Tree) removeTreeEdge(id int) {
 	t.adj[e.U] = removeID(t.adj[e.U], int32(id))
 	t.adj[e.V] = removeID(t.adj[e.V], int32(id))
 	t.numEdges--
+	t.rooted = false
 }
 
 func removeID(s []int32, id int32) []int32 {
@@ -81,30 +228,79 @@ func (t *Tree) TotalWeight() float64 {
 // (inclusive of both endpoints), or nil if they are in different
 // components. Path(u, u) returns [u].
 func (t *Tree) Path(u, v int) []int {
-	edges, ok := t.pathSearch(u, v)
-	if !ok {
+	return t.PathInto(nil, u, v)
+}
+
+// PathInto is Path reusing buf's storage for the result; it returns nil
+// when u and v are disconnected. Queries run over the rooted index: both
+// endpoints climb to their lowest common ancestor, so the cost is
+// proportional to the path length, not the component size.
+func (t *Tree) PathInto(buf []int, u, v int) []int {
+	buf = buf[:0]
+	if u == v {
+		return append(buf, u)
+	}
+	t.ensureRooted()
+	if t.compOf[u] != t.compOf[v] {
 		return nil
 	}
-	path := make([]int, 0, len(edges)+1)
-	path = append(path, u)
-	cur := u
-	for i := len(edges) - 1; i >= 0; i-- {
-		cur = t.g.Other(int(edges[i]), cur)
-		path = append(path, cur)
+	du, dv := t.depthOf[u], t.depthOf[v]
+	buf = append(buf, u)
+	for du > dv {
+		u = int(t.parentVtx[u])
+		buf = append(buf, u)
+		du--
 	}
-	return path
+	vside := t.stack[:0]
+	for dv > du {
+		vside = append(vside, v)
+		v = int(t.parentVtx[v])
+		dv--
+	}
+	for u != v {
+		u = int(t.parentVtx[u])
+		buf = append(buf, u)
+		vside = append(vside, v)
+		v = int(t.parentVtx[v])
+	}
+	for i := len(vside) - 1; i >= 0; i-- {
+		buf = append(buf, vside[i])
+	}
+	t.stack = vside[:0]
+	return buf
 }
 
 // PathEdges returns the tree edge IDs along the unique path from u to v, or
 // nil,false if disconnected.
 func (t *Tree) PathEdges(u, v int) ([]int32, bool) {
-	edges, ok := t.pathSearch(u, v)
-	if !ok {
+	if u == v {
+		return []int32{}, true
+	}
+	t.ensureRooted()
+	if t.compOf[u] != t.compOf[v] {
 		return nil, false
 	}
-	// pathSearch returns edges from v back to u; reverse for u -> v order.
-	for i, j := 0, len(edges)-1; i < j; i, j = i+1, j-1 {
-		edges[i], edges[j] = edges[j], edges[i]
+	var edges []int32
+	du, dv := t.depthOf[u], t.depthOf[v]
+	for du > dv {
+		edges = append(edges, t.parentOf[u])
+		u = int(t.parentVtx[u])
+		du--
+	}
+	var vEdges []int32
+	for dv > du {
+		vEdges = append(vEdges, t.parentOf[v])
+		v = int(t.parentVtx[v])
+		dv--
+	}
+	for u != v {
+		edges = append(edges, t.parentOf[u])
+		u = int(t.parentVtx[u])
+		vEdges = append(vEdges, t.parentOf[v])
+		v = int(t.parentVtx[v])
+	}
+	for i := len(vEdges) - 1; i >= 0; i-- {
+		edges = append(edges, vEdges[i])
 	}
 	return edges, true
 }
@@ -149,23 +345,43 @@ func (t *Tree) pathSearch(u, v int) ([]int32, bool) {
 // Bottleneck returns the maximum edge weight on the tree path between u and
 // v, and false if they are disconnected.
 func (t *Tree) Bottleneck(u, v int) (float64, bool) {
-	edges, ok := t.pathSearch(u, v)
-	if !ok {
+	if u == v {
+		return 0, true
+	}
+	t.ensureRooted()
+	if t.compOf[u] != t.compOf[v] {
 		return 0, false
 	}
 	var m float64
-	for _, id := range edges {
-		if w := t.g.edges[id].W; w > m {
+	climb := func(x int) int {
+		if w := t.g.edges[t.parentOf[x]].W; w > m {
 			m = w
 		}
+		return int(t.parentVtx[x])
+	}
+	du, dv := t.depthOf[u], t.depthOf[v]
+	for du > dv {
+		u = climb(u)
+		du--
+	}
+	for dv > du {
+		v = climb(v)
+		dv--
+	}
+	for u != v {
+		u = climb(u)
+		v = climb(v)
 	}
 	return m, true
 }
 
 // SameComponent reports whether u and v are connected in the forest.
 func (t *Tree) SameComponent(u, v int) bool {
-	_, ok := t.pathSearch(u, v)
-	return ok
+	if u == v {
+		return true
+	}
+	t.ensureRooted()
+	return t.compOf[u] == t.compOf[v]
 }
 
 // UpdateWeight changes the weight of edge id to w and restores the minimum

@@ -29,6 +29,14 @@ type Scheduler interface {
 type Engine struct {
 	st    *State
 	sched Scheduler
+
+	// completions is the reused per-cycle callback buffer of advance.
+	completions []completion
+}
+
+type completion struct {
+	op      *Op
+	success bool
 }
 
 // NewEngine builds an engine over a fresh simulation state.
@@ -75,36 +83,36 @@ func (e *Engine) Run() (*Result, error) {
 }
 
 // advance progresses all active ops by one cycle and fires completion
-// callbacks. It reports whether any op advanced.
+// callbacks. It reports whether any op advanced. Iteration order is
+// deterministic without sorting: st.active is kept in creation (= ID)
+// order, and this loop compacts out entries that complete here or parked /
+// finished elsewhere since the last cycle. Ops the callbacks start are
+// appended behind the compaction point and advance next cycle.
 func (e *Engine) advance() bool {
 	st := e.st
 	if len(st.active) == 0 {
 		return false
 	}
-	// Deterministic iteration order: ops sorted by ID.
-	ids := make([]int, 0, len(st.active))
-	for id := range st.active {
-		ids = append(ids, id)
-	}
-	sortInts(ids)
-	type completion struct {
-		op      *Op
-		success bool
-	}
-	var completions []completion
+	prev := st.active
+	live := st.active[:0]
+	completions := e.completions[:0]
 	progressed := false
-	for _, id := range ids {
-		op := st.active[id]
+	for _, op := range prev {
+		if op.done || (op.Kind == OpPrep && op.prepared) {
+			continue // finished or parked outside this loop (e.g. CancelPrep)
+		}
 		if op.start > st.cycle {
-			continue // starts next cycle (created inside a callback)
+			live = append(live, op) // starts next cycle (created inside a callback)
+			continue
 		}
 		progressed = true
 		switch op.Kind {
 		case OpPrep:
 			if st.rng.Float64() < st.prepSuccess {
-				op.prepared = true
-				delete(st.active, id)
+				op.prepared = true // parks holding its tile
 				completions = append(completions, completion{op, true})
+			} else {
+				live = append(live, op)
 			}
 		default:
 			op.remaining--
@@ -118,12 +126,22 @@ func (e *Engine) advance() bool {
 				}
 				e.finish(op)
 				completions = append(completions, completion{op, success})
+			} else {
+				live = append(live, op)
 			}
 		}
 	}
+	for i := len(live); i < len(prev); i++ {
+		prev[i] = nil // drop compacted-out op references for the GC
+	}
+	st.active = live
 	for _, c := range completions {
 		e.sched.OnOpDone(st, c.op, c.success)
 	}
+	for i := range completions {
+		completions[i] = completion{} // drop op references for the GC
+	}
+	e.completions = completions[:0]
 	return progressed
 }
 
@@ -132,7 +150,6 @@ func (e *Engine) advance() bool {
 func (e *Engine) finish(op *Op) {
 	st := e.st
 	op.done = true
-	delete(st.active, op.ID)
 	delete(st.ops, op.ID)
 	for _, q := range op.Qubits {
 		if st.qubitOp[q] == op {
@@ -150,14 +167,14 @@ func (e *Engine) finish(op *Op) {
 	}
 }
 
-// accountActivity updates the sliding-window busy counters per ancilla.
+// accountActivity updates the sliding-window busy counters per ancilla,
+// using the tile indices precomputed at state construction.
 func (e *Engine) accountActivity() {
 	st := e.st
 	slot := st.cycle % st.actWindow
-	for ancID := 0; ancID < st.grid.NumAncilla(); ancID++ {
-		i := st.grid.TileIndex(st.grid.AncillaTile(ancID))
+	for ancID, tile := range st.ancTileIdx {
 		busy := uint8(0)
-		if st.tileOp[i] != nil {
+		if st.tileOp[tile] != nil {
 			busy = 1
 		}
 		pos := ancID*st.actWindow + slot
@@ -217,14 +234,4 @@ func (e *Engine) collect() *Result {
 	}
 	r.MeanIdleFraction = idleSum / float64(len(r.IdlePerQubit))
 	return r
-}
-
-func sortInts(s []int) {
-	// Small insertion sort: the active set is usually tiny relative to
-	// allocation-heavy sort.Ints churn in the hot loop.
-	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && s[j] < s[j-1]; j-- {
-			s[j], s[j-1] = s[j-1], s[j]
-		}
-	}
 }

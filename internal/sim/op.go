@@ -82,6 +82,13 @@ type Op struct {
 	prepared  bool
 	consumed  bool // prepared state claimed by an injection
 	done      bool
+
+	// Inline backing for the common reservation sizes, so starting an op
+	// allocates nothing beyond the Op itself: Qubits holds at most two
+	// entries, and Tiles only exceeds four for long CNOT paths (which then
+	// spill to the heap).
+	qubitsBuf [2]int
+	tilesBuf  [4]lattice.Coord
 }
 
 // StartCycle returns the first cycle in which the op was active.

@@ -1,0 +1,51 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ParallelFor runs fn(i) for every i in [0, n) on a bounded pool of at most
+// workers goroutines (workers <= 0 means GOMAXPROCS). With workers == 1 (or
+// n < 2) it degenerates to a plain serial loop on the calling goroutine.
+//
+// The pool imposes no output ordering of its own: callers keep determinism
+// by writing each iteration's result into a per-index slot and aggregating
+// in index order after ParallelFor returns, so results are byte-identical
+// to a serial loop regardless of goroutine completion order. Each seeded
+// simulation owns its grid, scheduler state and RNG, which is what makes
+// per-run fan-out safe in the first place.
+func ParallelFor(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -242,7 +242,6 @@ func TestInjectionValidation(t *testing.T) {
 		t.Fatal(err)
 	}
 	op.prepared = true
-	delete(st.active, op.ID)
 
 	// Wrong angle.
 	if _, err := st.StartInjection(0, 0, op.Tiles[0], rus.InjectZZ, lattice.Coord{}, angle.Double()); err == nil {
@@ -254,7 +253,6 @@ func TestInjectionValidation(t *testing.T) {
 		t.Fatal(err)
 	}
 	op2.prepared = true
-	delete(st.active, op2.ID)
 	if _, err := st.StartInjection(0, 0, lattice.At(1, 0), rus.InjectZZ, lattice.Coord{}, angle); err == nil {
 		t.Error("expected Z-edge violation for ZZ injection")
 	}
@@ -273,7 +271,6 @@ func TestInjectionValidation(t *testing.T) {
 		t.Fatal(err)
 	}
 	op3.prepared = true
-	delete(st.active, op3.ID)
 	inj, err := st.StartInjection(0, 0, lattice.At(0, 0), rus.InjectCNOT, lattice.At(1, 0), angle)
 	if err != nil {
 		t.Fatalf("valid CNOT injection rejected: %v", err)
@@ -313,7 +310,6 @@ func TestDiscardAndCancelPrep(t *testing.T) {
 		t.Fatal(err)
 	}
 	op.prepared = true
-	delete(st.active, op.ID)
 	if err := st.CancelPrep(tile); err == nil {
 		t.Error("cancel of prepared state should fail (use Discard)")
 	}

@@ -77,8 +77,12 @@ type State struct {
 
 	ops    map[int]*Op
 	nextOp int
-	// active is the advancing subset of ops (prepared preps are parked).
-	active map[int]*Op
+	// active is the advancing subset of ops (prepared preps are parked),
+	// kept in ID order: IDs increase monotonically and ops are appended at
+	// creation, so no per-cycle sort is needed. Entries that park or
+	// complete outside the engine's advance loop (e.g. CancelPrep) stay in
+	// place until the next advance compacts them away.
+	active []*Op
 
 	// Gate bookkeeping.
 	status     []GateStatus
@@ -93,10 +97,11 @@ type State struct {
 
 	// Activity tracking: ring buffer of busy flags per ancilla ID, plus
 	// cumulative busy counts for the utilization heatmap.
-	actWindow int
-	actBuf    []uint8 // [ancID * actWindow + (cycle % actWindow)]
-	actSum    []int   // rolling sums per ancilla
-	actTotal  []int   // cumulative busy cycles per ancilla
+	actWindow  int
+	actBuf     []uint8 // [ancID * actWindow + (cycle % actWindow)]
+	actSum     []int   // rolling sums per ancilla
+	actTotal   []int   // cumulative busy cycles per ancilla
+	ancTileIdx []int32 // ancilla ID -> dense tile index, precomputed
 
 	// Idle tracking per data qubit.
 	idleCycles []int
@@ -124,7 +129,7 @@ func newState(g *lattice.Grid, dag *circuit.DAG, cfg Config, seed int64) *State 
 		tileOp:       make([]*Op, g.NumTiles()),
 		qubitOp:      make([]*Op, g.NumQubits()),
 		ops:          make(map[int]*Op),
-		active:       make(map[int]*Op),
+		active:       make([]*Op, 0, 64),
 		status:       make([]GateStatus, dag.Len()),
 		predLeft:     make([]int, dag.Len()),
 		readyAt:      make([]int, dag.Len()),
@@ -152,6 +157,10 @@ func newState(g *lattice.Grid, dag *circuit.DAG, cfg Config, seed int64) *State 
 	}
 	for q := range st.lastGateAt {
 		st.lastGateAt[q] = -1
+	}
+	st.ancTileIdx = make([]int32, g.NumAncilla())
+	for a := range st.ancTileIdx {
+		st.ancTileIdx[a] = int32(g.TileIndex(g.AncillaTile(a)))
 	}
 	return st
 }
@@ -222,8 +231,10 @@ func (st *State) Op(id int) *Op { return st.ops[id] }
 func (st *State) newOp(kind OpKind, node int, dur int) *Op {
 	st.nextOp++
 	op := &Op{ID: st.nextOp, Kind: kind, Node: node, start: st.cycle, remaining: dur}
+	op.Qubits = op.qubitsBuf[:0]
+	op.Tiles = op.tilesBuf[:0]
 	st.ops[op.ID] = op
-	st.active[op.ID] = op
+	st.active = append(st.active, op)
 	st.startedThisCycle++
 	return op
 }
@@ -415,7 +426,6 @@ func (st *State) CancelPrep(tile lattice.Coord) error {
 	}
 	op.done = true
 	delete(st.ops, op.ID)
-	delete(st.active, op.ID)
 	st.tileOp[st.grid.TileIndex(tile)] = nil
 	return nil
 }

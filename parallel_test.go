@@ -1,0 +1,47 @@
+package rescq
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestParallelDeterminism asserts that Options.Parallel changes only the
+// execution strategy, never the results: the pooled Summary must be
+// byte-identical to serial execution, including per-run latencies and
+// aggregate statistics, because runs are self-contained and aggregated in
+// seed order.
+func TestParallelDeterminism(t *testing.T) {
+	for _, sched := range []SchedulerKind{RESCQ, Greedy} {
+		serial, err := Run("gcm_n13", Options{Scheduler: sched, Runs: 4})
+		if err != nil {
+			t.Fatalf("serial %s: %v", sched, err)
+		}
+		parallel, err := Run("gcm_n13", Options{Scheduler: sched, Runs: 4, Parallel: true})
+		if err != nil {
+			t.Fatalf("parallel %s: %v", sched, err)
+		}
+		if !reflect.DeepEqual(serial, parallel) {
+			t.Errorf("%s: parallel Summary differs from serial\nserial:   %+v\nparallel: %+v",
+				sched, serial, parallel)
+		}
+	}
+}
+
+// TestParallelDeterminismWithCompression covers the compressed-grid path,
+// whose layout RNG is derived per run index and must not depend on
+// worker interleaving.
+func TestParallelDeterminismWithCompression(t *testing.T) {
+	opts := Options{Scheduler: RESCQ, Runs: 3, Compression: 0.5}
+	serial, err := Run("vqe_n13", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Parallel = true
+	parallel, err := Run("vqe_n13", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Error("parallel compressed-grid Summary differs from serial")
+	}
+}
