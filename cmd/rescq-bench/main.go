@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -20,34 +21,44 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable main path. It returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("rescq-bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		exp   = flag.String("exp", "", "experiment id (see -list)")
-		all   = flag.Bool("all", false, "run every experiment")
-		quick = flag.Bool("quick", false, "reduced sweeps: small benchmarks, fewer seeds")
-		list  = flag.Bool("list", false, "list experiment ids and exit")
+		exp   = fs.String("exp", "", "experiment id (see -list)")
+		all   = fs.Bool("all", false, "run every experiment")
+		quick = fs.Bool("quick", false, "reduced sweeps: small benchmarks, fewer seeds")
+		list  = fs.Bool("list", false, "list experiment ids and exit")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
 		for _, id := range rescq.ExperimentIDs {
-			fmt.Println(id)
+			fmt.Fprintln(stdout, id)
 		}
-		return
+		return 0
 	}
 	ids := []string{*exp}
 	if *all {
 		ids = rescq.ExperimentIDs
 	} else if *exp == "" {
-		fmt.Fprintln(os.Stderr, "rescq-bench: need -exp <id> or -all (use -list for ids)")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "rescq-bench: need -exp <id> or -all (use -list for ids)")
+		return 2
 	}
 	for _, id := range ids {
 		t0 := time.Now()
 		out, err := rescq.Experiment(id, *quick)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "rescq-bench:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "rescq-bench:", err)
+			return 1
 		}
-		fmt.Printf("==== %s (%.1fs) ====\n%s\n", id, time.Since(t0).Seconds(), out)
+		fmt.Fprintf(stdout, "==== %s (%.1fs) ====\n%s\n", id, time.Since(t0).Seconds(), out)
 	}
+	return 0
 }

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	rescq "repro"
+)
+
+func TestListExperiments(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	lines := strings.Fields(out.String())
+	if len(lines) != len(rescq.ExperimentIDs) {
+		t.Fatalf("-list printed %d ids, want %d", len(lines), len(rescq.ExperimentIDs))
+	}
+	for i, id := range rescq.ExperimentIDs {
+		if lines[i] != id {
+			t.Errorf("line %d = %q, want %q", i, lines[i], id)
+		}
+	}
+}
+
+func TestRunOneExperiment(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-exp", "table1"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, "==== table1") {
+		t.Errorf("missing experiment banner:\n%s", text)
+	}
+	if len(text) < 100 {
+		t.Errorf("suspiciously short report:\n%s", text)
+	}
+}
+
+func TestRunQuickSimulationExperiment(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-exp", "heatmap", "-quick"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "==== heatmap") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		code int
+	}{
+		{"bad flag", []string{"-nope"}, 2},
+		{"no experiment", []string{}, 2},
+		{"unknown experiment", []string{"-exp", "fig99"}, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errOut bytes.Buffer
+			if code := run(tc.args, &out, &errOut); code != tc.code {
+				t.Fatalf("exit %d, want %d (stderr: %s)", code, tc.code, errOut.String())
+			}
+			if errOut.Len() == 0 {
+				t.Error("error path produced no stderr output")
+			}
+		})
+	}
+}

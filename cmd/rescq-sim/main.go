@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	rescq "repro"
@@ -20,29 +21,43 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable main path: flag parsing, config resolution, one
+// simulation, rendered output. It returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("rescq-sim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		cfgPath     = flag.String("config", "", "JSON config file (overrides the other flags)")
-		bench       = flag.String("bench", "", "Table 3 benchmark name (see -list)")
-		circuitFile = flag.String("circuit", "", "circuit file in the artifact text format")
-		scheduler   = flag.String("scheduler", "rescq", "greedy | autobraid | rescq")
-		distance    = flag.Int("d", 7, "surface code distance")
-		physErr     = flag.Float64("p", 1e-4, "physical qubit error rate")
-		k           = flag.Int("k", 25, "RESCQ MST recomputation period (cycles)")
-		tau         = flag.Int("tau", 100, "RESCQ MST computation latency (cycles)")
-		compression = flag.Float64("compression", 0, "grid compression fraction in [0,1]")
-		runs        = flag.Int("runs", 10, "seeded runs")
-		seed        = flag.Int64("seed", 1, "base seed")
-		parallel    = flag.Bool("parallel", false, "run seeds concurrently on a bounded worker pool (same results as serial)")
-		list        = flag.Bool("list", false, "list benchmarks and exit")
+		cfgPath     = fs.String("config", "", "JSON config file (overrides the other flags)")
+		bench       = fs.String("bench", "", "Table 3 benchmark name (see -list)")
+		circuitFile = fs.String("circuit", "", "circuit file in the artifact text format")
+		scheduler   = fs.String("scheduler", "rescq", "greedy | autobraid | rescq")
+		distance    = fs.Int("d", 7, "surface code distance")
+		physErr     = fs.Float64("p", 1e-4, "physical qubit error rate")
+		k           = fs.Int("k", 25, "RESCQ MST recomputation period (cycles)")
+		tau         = fs.Int("tau", 100, "RESCQ MST computation latency (cycles)")
+		compression = fs.Float64("compression", 0, "grid compression fraction in [0,1]")
+		runs        = fs.Int("runs", 10, "seeded runs")
+		seed        = fs.Int64("seed", 1, "base seed")
+		parallel    = fs.Bool("parallel", false, "run seeds concurrently on a bounded worker pool (same results as serial)")
+		list        = fs.Bool("list", false, "list benchmarks and exit")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "rescq-sim:", err)
+		return 1
+	}
 
 	if *list {
 		for _, b := range rescq.Benchmarks() {
-			fmt.Printf("%-16s %-9s %4d qubits  %5d Rz  %5d CNOT\n",
+			fmt.Fprintf(stdout, "%-16s %-9s %4d qubits  %5d Rz  %5d CNOT\n",
 				b.Name, b.Suite, b.Qubits, b.PaperRz, b.PaperCNOT)
 		}
-		return
+		return 0
 	}
 
 	cfg := config.Config{
@@ -54,12 +69,12 @@ func main() {
 	if *cfgPath != "" {
 		loaded, err := config.Load(*cfgPath)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		cfg = loaded
 	}
 	if err := cfg.Validate(); err != nil {
-		fatal(err)
+		return fail(err)
 	}
 
 	opts := rescq.Options{
@@ -84,26 +99,22 @@ func main() {
 	default:
 		data, rerr := os.ReadFile(cfg.CircuitFile)
 		if rerr != nil {
-			fatal(rerr)
+			return fail(rerr)
 		}
 		sum, err = rescq.RunCircuitText(cfg.CircuitFile, string(data), opts)
 	}
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 
-	fmt.Printf("benchmark=%s scheduler=%s d=%d p=%g k=%d compression=%.0f%% runs=%d\n",
+	fmt.Fprintf(stdout, "benchmark=%s scheduler=%s d=%d p=%g k=%d compression=%.0f%% runs=%d\n",
 		sum.Benchmark, sum.Scheduler, cfg.Distance, cfg.PhysError, cfg.K,
 		100*cfg.Compression, len(sum.Runs))
 	for _, r := range sum.Runs {
-		fmt.Printf("seed=%-4d cycles=%-8d idle=%.3f preps=%-6d injections=%-6d edge_rotations=%d\n",
+		fmt.Fprintf(stdout, "seed=%-4d cycles=%-8d idle=%.3f preps=%-6d injections=%-6d edge_rotations=%d\n",
 			r.Seed, r.TotalCycles, r.MeanIdleFraction, r.PrepsStarted, r.InjectionsCount, r.EdgeRotations)
 	}
-	fmt.Printf("mean=%.1f min=%d max=%d std=%.1f mean_idle=%.3f\n",
+	fmt.Fprintf(stdout, "mean=%.1f min=%d max=%d std=%.1f mean_idle=%.3f\n",
 		sum.MeanCycles, sum.MinCycles, sum.MaxCycles, sum.StdCycles, sum.MeanIdle)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "rescq-sim:", err)
-	os.Exit(1)
+	return 0
 }

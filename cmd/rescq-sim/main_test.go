@@ -1,0 +1,90 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestListBenchmarks(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	text := out.String()
+	for _, want := range []string{"gcm_n13", "qft_n18", "qubits"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("-list output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestRunTinyBenchmark(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-bench", "vqe_n13", "-d", "5", "-runs", "2", "-seed", "3"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, "benchmark=vqe_n13 scheduler=rescq d=5") {
+		t.Errorf("missing header:\n%s", text)
+	}
+	if got := strings.Count(text, "seed="); got != 2 {
+		t.Errorf("per-seed lines = %d, want 2:\n%s", got, text)
+	}
+	if !strings.Contains(text, "mean=") {
+		t.Errorf("missing summary line:\n%s", text)
+	}
+}
+
+func TestRunFromConfigFileWithCircuit(t *testing.T) {
+	dir := t.TempDir()
+	circ := filepath.Join(dir, "tiny.circ")
+	if err := os.WriteFile(circ, []byte("qubits 3\n3\nh 0\ncnot 0 1\nrz 1 pi/4\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg := filepath.Join(dir, "cfg.json")
+	body := `{"circuit_file":` + jsonStr(circ) + `,"scheduler":"greedy","distance":5,"number_of_runs":1}`
+	if err := os.WriteFile(cfg, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-config", cfg}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "scheduler=greedy") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		code int
+	}{
+		{"bad flag", []string{"-nope"}, 2},
+		{"no benchmark or circuit", []string{}, 1},
+		{"unknown benchmark", []string{"-bench", "nope"}, 1},
+		{"bad distance", []string{"-bench", "vqe_n13", "-d", "4"}, 1},
+		{"missing config file", []string{"-config", "/does/not/exist.json"}, 1},
+		{"missing circuit file", []string{"-circuit", "/does/not/exist.circ"}, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errOut bytes.Buffer
+			if code := run(tc.args, &out, &errOut); code != tc.code {
+				t.Fatalf("exit %d, want %d (stderr: %s)", code, tc.code, errOut.String())
+			}
+			if errOut.Len() == 0 {
+				t.Error("error path produced no stderr output")
+			}
+		})
+	}
+}
+
+func jsonStr(s string) string {
+	return `"` + strings.ReplaceAll(s, `\`, `\\`) + `"`
+}

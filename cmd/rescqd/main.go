@@ -1,0 +1,115 @@
+// Command rescqd serves the rescq simulation engine over HTTP: a job queue
+// with a bounded worker pool, an LRU result cache, and streaming sweep
+// execution. See internal/service for the endpoint and job-lifecycle
+// documentation, and README.md in this directory for usage examples.
+//
+// Usage:
+//
+//	rescqd                        # listen on :8321, one worker per CPU
+//	rescqd -addr :9000 -workers 4 -cache 2048
+//	rescqd -config daemon.json    # JSON config (see internal/config.Daemon)
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/service"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, nil))
+}
+
+// run is the testable main: it parses flags, serves until the listener
+// fails or a SIGINT/SIGTERM arrives, then drains. A non-nil ready channel
+// receives the bound address once the daemon is listening (used by tests to
+// avoid port races).
+func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
+	fs := flag.NewFlagSet("rescqd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		cfgPath = fs.String("config", "", "JSON daemon config file (overrides the other flags)")
+		addr    = fs.String("addr", ":8321", "listen address")
+		workers = fs.Int("workers", 0, "worker pool size (0 = one per CPU)")
+		queue   = fs.Int("queue", 256, "pending-job queue depth")
+		cache   = fs.Int("cache", 1024, "LRU result-cache entries (negative disables)")
+		drain   = fs.Int("drain", 30, "graceful-shutdown drain budget in seconds")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "rescqd: unexpected arguments %v\n", fs.Args())
+		return 2
+	}
+
+	cfg := config.Daemon{
+		Addr: *addr, Workers: *workers, QueueDepth: *queue,
+		CacheEntries: *cache, DrainTimeoutSec: *drain,
+	}.WithDefaults()
+	if *cfgPath != "" {
+		loaded, err := config.LoadDaemon(*cfgPath)
+		if err != nil {
+			fmt.Fprintln(stderr, "rescqd:", err)
+			return 1
+		}
+		cfg = loaded
+	}
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintln(stderr, "rescqd:", err)
+		return 1
+	}
+
+	svc := service.New(cfg, nil)
+	svc.Start()
+	httpSrv := &http.Server{
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		fmt.Fprintln(stderr, "rescqd:", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "rescqd: listening on %s (workers=%d queue=%d cache=%d)\n",
+		ln.Addr(), svc.Workers(), cfg.QueueDepth, cfg.CacheEntries)
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
+
+	select {
+	case sig := <-sigCh:
+		fmt.Fprintf(stdout, "rescqd: %v, draining (budget %s)\n", sig, cfg.DrainTimeout())
+	case err := <-serveErr:
+		fmt.Fprintln(stderr, "rescqd:", err)
+		return 1
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.DrainTimeout())
+	defer cancel()
+	httpSrv.Shutdown(ctx)
+	if err := svc.Shutdown(ctx); err != nil {
+		fmt.Fprintln(stderr, "rescqd: drain budget expired, in-flight jobs cancelled:", err)
+		return 1
+	}
+	fmt.Fprintln(stdout, "rescqd: drained cleanly")
+	return 0
+}

@@ -1,0 +1,79 @@
+package circuit_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/qbench"
+)
+
+// FuzzParse asserts the parser's contract: for arbitrary input it returns
+// either a structurally valid circuit or an error — it never panics. A
+// successfully parsed circuit must survive Validate and round-trip through
+// the writer. Seeds are real qbench generator outputs (what the artifact's
+// circuit files look like) plus the corner cases that once panicked:
+// cnot with equal operands, qubit indices past the declared count, and
+// angle rationals whose canonicalization overflowed int64.
+func FuzzParse(f *testing.F) {
+	// Emitted circuit texts from the Table 3 generators (small ones).
+	for _, name := range []string{"vqe_n13", "gcm_n13", "qaoa_n15"} {
+		spec, ok := qbench.ByName(name)
+		if !ok {
+			f.Fatalf("unknown seed benchmark %q", name)
+		}
+		f.Add(circuit.Format(spec.Circuit()))
+	}
+	f.Add("qubits 3\n2\nh 0\ncnot 0 1\n")
+	f.Add("2\nrz 0 pi/4\nrz 1 -3pi/8\n")
+	f.Add("1\nrz 0 0.785398\n")
+	f.Add("1\nrz 0 5/8\n")
+	f.Add("# comment\nqubits 2\n1\ncnot 1 0\n")
+	// Historical panics.
+	f.Add("1\ncnot 1 1\n")
+	f.Add("qubits 1\n1\nh 9223372036854775807\n")
+	f.Add("1\nrz 0 pi/-9223372036854775808\n")
+	f.Add("1\nrz 0 -9223372036854775807/3\n")
+	f.Add("1\nrz 0 NaN\n")
+	f.Add("1\nrz 0 +Inf\n")
+
+	f.Fuzz(func(t *testing.T, text string) {
+		c, err := circuit.ParseString("fuzz", text)
+		if err != nil {
+			if c != nil {
+				t.Fatalf("non-nil circuit alongside error %v", err)
+			}
+			return
+		}
+		if c == nil {
+			t.Fatal("nil circuit with nil error")
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("parsed circuit fails Validate: %v\ninput: %q", err, clip(text))
+		}
+		// What the parser accepts, the writer must re-emit parseably, and
+		// the round trip must preserve the gate list.
+		text2 := circuit.Format(c)
+		c2, err := circuit.ParseString("fuzz-roundtrip", text2)
+		if err != nil {
+			t.Fatalf("round trip failed to parse: %v\nre-emitted: %q", err, clip(text2))
+		}
+		if len(c2.Gates) != len(c.Gates) || c2.NumQubits != c.NumQubits {
+			t.Fatalf("round trip changed shape: %d gates/%d qubits -> %d gates/%d qubits",
+				len(c.Gates), c.NumQubits, len(c2.Gates), c2.NumQubits)
+		}
+		for i := range c.Gates {
+			a, b := c.Gates[i], c2.Gates[i]
+			if a.Kind != b.Kind || a.Qubits != b.Qubits || !a.Angle.Equal(b.Angle) {
+				t.Fatalf("round trip changed gate %d: %v -> %v", i, a, b)
+			}
+		}
+	})
+}
+
+func clip(s string) string {
+	if len(s) > 200 {
+		return s[:200] + "..."
+	}
+	return strings.ToValidUTF8(s, "�")
+}

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -21,6 +22,17 @@ import (
 
 // maxParseDen bounds the rational approximation of decimal angles.
 const maxParseDen = 1 << 20
+
+// maxParseQubits bounds qubit indices and declared qubit counts. The
+// parser feeds downstream code that allocates per qubit; rejecting absurd
+// indices here keeps a hostile circuit from forcing giant allocations (and
+// keeps maxQubit+1 arithmetic overflow-free).
+const maxParseQubits = 1 << 20
+
+// maxAngleMag bounds the numerator/denominator magnitude of explicit
+// rational angles so the canonicalization arithmetic in NewAngle (which
+// computes 2*den) can never overflow int64.
+const maxAngleMag = 1 << 32
 
 // Parse reads a circuit from r in the artifact text format.
 func Parse(name string, r io.Reader) (*Circuit, error) {
@@ -50,7 +62,7 @@ func Parse(name string, r io.Reader) (*Circuit, error) {
 				return nil, parseErr(lineNo, "malformed qubits directive")
 			}
 			n, err := strconv.Atoi(fields[1])
-			if err != nil || n < 1 {
+			if err != nil || n < 1 || n > maxParseQubits {
 				return nil, parseErr(lineNo, "invalid qubit count %q", fields[1])
 			}
 			numQubits = n
@@ -82,10 +94,11 @@ func Parse(name string, r io.Reader) (*Circuit, error) {
 	if len(gates) != count {
 		return nil, fmt.Errorf("circuit: %s: header declares %d gates, found %d", name, count, len(gates))
 	}
+	// Per-gate parsing bounds qubit indices to maxParseQubits, so maxQubit+1
+	// cannot overflow here.
 	if numQubits < 0 {
 		numQubits = maxQubit + 1
-	}
-	if numQubits < maxQubit+1 {
+	} else if maxQubit >= numQubits {
 		return nil, fmt.Errorf("circuit: %s: qubit index %d exceeds declared count %d", name, maxQubit, numQubits)
 	}
 	if numQubits < 1 {
@@ -127,10 +140,13 @@ func parseGateLine(fields []string, lineNo int) (rawGate, error) {
 	}
 	for i := 0; i < nq; i++ {
 		q, err := strconv.Atoi(fields[1+i])
-		if err != nil || q < 0 {
+		if err != nil || q < 0 || q >= maxParseQubits {
 			return g, parseErr(lineNo, "invalid qubit %q", fields[1+i])
 		}
 		g.qubits[i] = q
+	}
+	if kind == KindCNOT && g.qubits[0] == g.qubits[1] {
+		return g, parseErr(lineNo, "cnot with equal control and target %d", g.qubits[0])
 	}
 	if wantAngle {
 		a, err := ParseAngle(fields[1+nq])
@@ -171,6 +187,9 @@ func ParseAngle(tok string) (Angle, error) {
 			}
 			den = d
 		}
+		if !angleBoundsOK(num, den) {
+			return Zero, fmt.Errorf("angle %q out of range", tok)
+		}
 		if neg {
 			num = -num
 		}
@@ -182,19 +201,30 @@ func ParseAngle(tok string) (Angle, error) {
 		if err1 != nil || err2 != nil || d == 0 {
 			return Zero, fmt.Errorf("invalid angle %q", tok)
 		}
+		if !angleBoundsOK(n, d) {
+			return Zero, fmt.Errorf("angle %q out of range", tok)
+		}
 		if neg {
 			n = -n
 		}
 		return NewAngle(n, d), nil
 	}
 	f, err := strconv.ParseFloat(s, 64)
-	if err != nil {
+	if err != nil || math.IsNaN(f) || math.IsInf(f, 0) {
 		return Zero, fmt.Errorf("invalid angle %q", tok)
 	}
 	if neg {
 		f = -f
 	}
 	return ApproxAngle(f, maxParseDen), nil
+}
+
+// angleBoundsOK rejects rational-angle components whose magnitude would let
+// NewAngle's normalization (negation of den, 2*den) overflow int64. The
+// bound is far beyond any angle a compiler emits.
+func angleBoundsOK(num, den int64) bool {
+	return num > -maxAngleMag && num < maxAngleMag &&
+		den > -maxAngleMag && den < maxAngleMag
 }
 
 // Write emits c to w in the artifact text format (with the qubits

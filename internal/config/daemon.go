@@ -1,0 +1,94 @@
+package config
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+)
+
+// Daemon configures the rescqd serving daemon (see internal/service). A
+// zero value is usable: every field has a production-sensible default.
+type Daemon struct {
+	// Addr is the listen address (default ":8321").
+	Addr string `json:"addr,omitempty"`
+	// Workers bounds the job worker pool; 0 means one worker per CPU.
+	Workers int `json:"workers,omitempty"`
+	// QueueDepth bounds the pending-job queue; excess submissions are
+	// rejected with 503 (default 256).
+	QueueDepth int `json:"queue_depth,omitempty"`
+	// CacheEntries bounds the LRU result cache; 0 means the default 1024,
+	// negative disables caching (0 cannot mean "disabled" — it is JSON's
+	// and the zero-value's "unset").
+	CacheEntries int `json:"cache_entries,omitempty"`
+	// DrainTimeoutSec bounds graceful shutdown: in-flight jobs get this
+	// many seconds to finish before the daemon exits anyway (default 30).
+	DrainTimeoutSec int `json:"drain_timeout_sec,omitempty"`
+	// ParallelRuns makes each simulation spread its seeded runs over the
+	// worker pool's CPUs (rescq.Options.Parallel) unless the request says
+	// otherwise (default false: one job, one core, many jobs in flight).
+	ParallelRuns bool `json:"parallel_runs,omitempty"`
+}
+
+// WithDefaults fills unset daemon fields.
+func (d Daemon) WithDefaults() Daemon {
+	if d.Addr == "" {
+		d.Addr = ":8321"
+	}
+	if d.QueueDepth == 0 {
+		d.QueueDepth = 256
+	}
+	if d.CacheEntries == 0 {
+		d.CacheEntries = 1024
+	}
+	if d.DrainTimeoutSec == 0 {
+		d.DrainTimeoutSec = 30
+	}
+	return d
+}
+
+// DrainTimeout returns the drain budget as a duration.
+func (d Daemon) DrainTimeout() time.Duration {
+	return time.Duration(d.DrainTimeoutSec) * time.Second
+}
+
+// CacheDisabled reports whether the result cache is turned off
+// (CacheEntries < 0).
+func (d Daemon) CacheDisabled() bool { return d.CacheEntries < 0 }
+
+// Validate reports daemon configuration errors.
+func (d Daemon) Validate() error {
+	if d.Workers < 0 {
+		return fmt.Errorf("config: workers must be non-negative")
+	}
+	if d.QueueDepth < 1 {
+		return fmt.Errorf("config: queue_depth must be positive")
+	}
+	if d.DrainTimeoutSec < 0 {
+		return fmt.Errorf("config: drain_timeout_sec must be non-negative")
+	}
+	return nil
+}
+
+// LoadDaemon reads and validates a daemon config file.
+func LoadDaemon(path string) (Daemon, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Daemon{}, fmt.Errorf("config: %w", err)
+	}
+	defer f.Close()
+	return ReadDaemon(f)
+}
+
+// ReadDaemon parses a daemon config from r and validates it.
+func ReadDaemon(r io.Reader) (Daemon, error) {
+	var d Daemon
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&d); err != nil {
+		return Daemon{}, fmt.Errorf("config: parse: %w", err)
+	}
+	d = d.WithDefaults()
+	return d, d.Validate()
+}

@@ -1,0 +1,73 @@
+package config
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDaemonDefaults(t *testing.T) {
+	d := Daemon{}.WithDefaults()
+	if d.Addr != ":8321" || d.QueueDepth != 256 || d.CacheEntries != 1024 || d.DrainTimeoutSec != 30 {
+		t.Fatalf("defaults = %+v", d)
+	}
+	if d.Workers != 0 || d.ParallelRuns {
+		t.Fatalf("workers/parallel defaults = %+v", d)
+	}
+	if d.DrainTimeout() != 30*time.Second {
+		t.Fatalf("drain timeout = %v", d.DrainTimeout())
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("defaults invalid: %v", err)
+	}
+}
+
+func TestDaemonCacheDisabled(t *testing.T) {
+	// 0 is "unset" (re-defaulted), negative is the explicit off switch.
+	d := Daemon{CacheEntries: -1}.WithDefaults()
+	if d.CacheEntries != -1 || !d.CacheDisabled() {
+		t.Fatalf("negative cache_entries should survive defaults and disable: %+v", d)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("disabled cache should validate: %v", err)
+	}
+	if (Daemon{}).WithDefaults().CacheDisabled() {
+		t.Fatal("default config should have the cache enabled")
+	}
+}
+
+func TestDaemonValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		d    Daemon
+		want string
+	}{
+		{"negative workers", Daemon{Workers: -1, QueueDepth: 1}, "workers"},
+		{"zero queue", Daemon{QueueDepth: 0}, "queue_depth"},
+		{"negative drain", Daemon{QueueDepth: 1, DrainTimeoutSec: -1}, "drain_timeout_sec"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.d.Validate()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Validate() = %v, want error mentioning %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestReadDaemon(t *testing.T) {
+	d, err := ReadDaemon(strings.NewReader(`{"addr":":9000","workers":4,"cache_entries":16}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Addr != ":9000" || d.Workers != 4 || d.CacheEntries != 16 || d.QueueDepth != 256 {
+		t.Fatalf("parsed daemon = %+v", d)
+	}
+	if _, err := ReadDaemon(strings.NewReader(`{"nope":1}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	if _, err := ReadDaemon(strings.NewReader(`{"workers":-2}`)); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}

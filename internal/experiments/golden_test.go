@@ -1,0 +1,118 @@
+package experiments_test
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	rescq "repro"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/ from the current outputs")
+
+// goldenExperiments pins the rendered text of the paper artifacts so a perf
+// refactor can't silently change the numbers the reproduction reports. The
+// static experiments (tables, analytic figures) are pinned at full fidelity;
+// the simulation-backed ones are pinned in quick mode, which runs the same
+// engine/scheduler code on fixed seeds in well under a second.
+var goldenExperiments = []struct {
+	id    string
+	quick bool
+}{
+	{"table1", false},
+	{"table3", false},
+	{"fig3", false},
+	{"fig15", false},
+	{"fig16", false},
+	{"appendixA2", false},
+	{"fig5", true},    // simulation-backed: Figure 5 latency histograms
+	{"heatmap", true}, // simulation-backed: grid-activity heatmap
+}
+
+func goldenPath(id string, quick bool) string {
+	name := id
+	if quick {
+		name += "_quick"
+	}
+	return filepath.Join("testdata", name+".golden")
+}
+
+func TestGoldenExperiments(t *testing.T) {
+	for _, g := range goldenExperiments {
+		g := g
+		t.Run(g.id, func(t *testing.T) {
+			got, err := rescq.Experiment(g.id, g.quick)
+			if err != nil {
+				t.Fatalf("Experiment(%q, quick=%v): %v", g.id, g.quick, err)
+			}
+			path := goldenPath(g.id, g.quick)
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (regenerate with `go test ./internal/experiments -run TestGoldenExperiments -update`): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("%s drifted from %s (regenerate with -update ONLY if the change is intended):\n%s",
+					g.id, path, diffHint(string(want), got))
+			}
+		})
+	}
+}
+
+// TestGoldenExperimentsStable guards the guard: a golden comparison is only
+// meaningful if the output is deterministic run-to-run.
+func TestGoldenExperimentsStable(t *testing.T) {
+	for _, g := range goldenExperiments {
+		a, err := rescq.Experiment(g.id, g.quick)
+		if err != nil {
+			t.Fatalf("Experiment(%q): %v", g.id, err)
+		}
+		b, _ := rescq.Experiment(g.id, g.quick)
+		if a != b {
+			t.Errorf("%s output is nondeterministic; it cannot be golden-tested", g.id)
+		}
+	}
+}
+
+// diffHint reports the first line where two texts diverge, with context.
+func diffHint(want, got string) string {
+	wl, gl := splitLines(want), splitLines(got)
+	for i := 0; i < len(wl) || i < len(gl); i++ {
+		var w, g string
+		if i < len(wl) {
+			w = wl[i]
+		}
+		if i < len(gl) {
+			g = gl[i]
+		}
+		if w != g {
+			return fmt.Sprintf("first divergence at line %d:\n  golden: %q\n  got:    %q", i+1, w, g)
+		}
+	}
+	return "texts identical (length mismatch?)"
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}

@@ -1,0 +1,123 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ServiceStats is the rescqd daemon's counter set: job lifecycle counts,
+// result-cache effectiveness, and a latency histogram from which the p50 and
+// p99 job latencies are derived. All methods are safe for concurrent use;
+// the counters are atomics so the serving hot path never takes a lock, and
+// only latency observation/rendering shares a mutex.
+type ServiceStats struct {
+	JobsQueued    atomic.Int64 // jobs accepted and enqueued, lifetime total
+	JobsRunning   atomic.Int64 // jobs currently executing (gauge)
+	JobsDone      atomic.Int64 // jobs finished successfully
+	JobsFailed    atomic.Int64 // jobs finished with an error
+	JobsCancelled atomic.Int64 // jobs cancelled before completion
+	JobsRejected  atomic.Int64 // jobs refused because the queue was full or draining
+	CacheHits     atomic.Int64 // run configurations served from the result cache
+	CacheMisses   atomic.Int64 // run configurations that had to simulate
+	EngineRuns    atomic.Int64 // actual engine invocations (miss + uncacheable)
+
+	mu      sync.Mutex
+	latency *Histogram // completed-job latency in milliseconds
+}
+
+// NewServiceStats returns a zeroed counter set.
+func NewServiceStats() *ServiceStats {
+	return &ServiceStats{latency: NewHistogram()}
+}
+
+// ObserveLatency records one completed job's wall-clock latency.
+func (s *ServiceStats) ObserveLatency(d time.Duration) {
+	ms := int(d.Milliseconds())
+	if ms < 0 {
+		ms = 0
+	}
+	s.mu.Lock()
+	s.latency.Add(ms)
+	s.mu.Unlock()
+}
+
+// LatencyPercentiles returns the p50 and p99 completed-job latencies in
+// milliseconds (0, 0 before any job completes).
+func (s *ServiceStats) LatencyPercentiles() (p50, p99 int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.latency.N() == 0 {
+		return 0, 0
+	}
+	return s.latency.Percentile(0.50), s.latency.Percentile(0.99)
+}
+
+// Snapshot is a point-in-time copy of every counter, used by the /metrics
+// endpoint and by tests asserting cache behavior.
+type Snapshot struct {
+	JobsQueued    int64 `json:"jobs_queued"`
+	JobsRunning   int64 `json:"jobs_running"`
+	JobsDone      int64 `json:"jobs_done"`
+	JobsFailed    int64 `json:"jobs_failed"`
+	JobsCancelled int64 `json:"jobs_cancelled"`
+	JobsRejected  int64 `json:"jobs_rejected"`
+	CacheHits     int64 `json:"cache_hits"`
+	CacheMisses   int64 `json:"cache_misses"`
+	EngineRuns    int64 `json:"engine_runs"`
+	LatencyCount  int64 `json:"latency_count"`
+	LatencyP50ms  int64 `json:"latency_p50_ms"`
+	LatencyP99ms  int64 `json:"latency_p99_ms"`
+}
+
+// Snapshot captures the current counter values.
+func (s *ServiceStats) Snapshot() Snapshot {
+	p50, p99 := s.LatencyPercentiles()
+	s.mu.Lock()
+	n := s.latency.N()
+	s.mu.Unlock()
+	return Snapshot{
+		JobsQueued:    s.JobsQueued.Load(),
+		JobsRunning:   s.JobsRunning.Load(),
+		JobsDone:      s.JobsDone.Load(),
+		JobsFailed:    s.JobsFailed.Load(),
+		JobsCancelled: s.JobsCancelled.Load(),
+		JobsRejected:  s.JobsRejected.Load(),
+		CacheHits:     s.CacheHits.Load(),
+		CacheMisses:   s.CacheMisses.Load(),
+		EngineRuns:    s.EngineRuns.Load(),
+		LatencyCount:  int64(n),
+		LatencyP50ms:  int64(p50),
+		LatencyP99ms:  int64(p99),
+	}
+}
+
+// RenderProm renders the snapshot in the Prometheus text exposition format
+// under the given metric-name prefix (e.g. "rescqd").
+func (s Snapshot) RenderProm(prefix string) string {
+	var sb strings.Builder
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(&sb, "# HELP %s_%s %s\n# TYPE %s_%s counter\n%s_%s %d\n",
+			prefix, name, help, prefix, name, prefix, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(&sb, "# HELP %s_%s %s\n# TYPE %s_%s gauge\n%s_%s %d\n",
+			prefix, name, help, prefix, name, prefix, name, v)
+	}
+	counter("jobs_queued_total", "Jobs accepted and enqueued.", s.JobsQueued)
+	gauge("jobs_running", "Jobs currently executing.", s.JobsRunning)
+	counter("jobs_done_total", "Jobs finished successfully.", s.JobsDone)
+	counter("jobs_failed_total", "Jobs finished with an error.", s.JobsFailed)
+	counter("jobs_cancelled_total", "Jobs cancelled before completion.", s.JobsCancelled)
+	counter("jobs_rejected_total", "Jobs refused (queue full or draining).", s.JobsRejected)
+	counter("cache_hits_total", "Run configurations served from the result cache.", s.CacheHits)
+	counter("cache_misses_total", "Run configurations that had to simulate.", s.CacheMisses)
+	counter("engine_runs_total", "Engine invocations.", s.EngineRuns)
+	counter("job_latency_observations_total", "Completed jobs with recorded latency.", s.LatencyCount)
+	fmt.Fprintf(&sb, "# HELP %s_job_latency_ms Completed-job latency quantiles in milliseconds.\n# TYPE %s_job_latency_ms summary\n", prefix, prefix)
+	fmt.Fprintf(&sb, "%s_job_latency_ms{quantile=\"0.5\"} %d\n", prefix, s.LatencyP50ms)
+	fmt.Fprintf(&sb, "%s_job_latency_ms{quantile=\"0.99\"} %d\n", prefix, s.LatencyP99ms)
+	return sb.String()
+}

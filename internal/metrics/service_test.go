@@ -1,0 +1,78 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestServiceStatsCountersAndPercentiles(t *testing.T) {
+	s := NewServiceStats()
+	if p50, p99 := s.LatencyPercentiles(); p50 != 0 || p99 != 0 {
+		t.Fatalf("empty percentiles = %d/%d", p50, p99)
+	}
+	s.JobsQueued.Add(3)
+	s.JobsDone.Add(2)
+	s.CacheHits.Add(1)
+	s.CacheMisses.Add(1)
+	for ms := 1; ms <= 100; ms++ {
+		s.ObserveLatency(time.Duration(ms) * time.Millisecond)
+	}
+	s.ObserveLatency(-time.Second) // clock weirdness clamps to 0
+
+	snap := s.Snapshot()
+	if snap.JobsQueued != 3 || snap.JobsDone != 2 || snap.CacheHits != 1 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if snap.LatencyCount != 101 {
+		t.Fatalf("latency count = %d, want 101", snap.LatencyCount)
+	}
+	if snap.LatencyP50ms < 49 || snap.LatencyP50ms > 51 {
+		t.Fatalf("p50 = %d, want ~50", snap.LatencyP50ms)
+	}
+	if snap.LatencyP99ms < 98 || snap.LatencyP99ms > 100 {
+		t.Fatalf("p99 = %d, want ~99", snap.LatencyP99ms)
+	}
+}
+
+func TestServiceStatsConcurrent(t *testing.T) {
+	s := NewServiceStats()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				s.JobsQueued.Add(1)
+				s.ObserveLatency(time.Millisecond)
+				s.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	snap := s.Snapshot()
+	if snap.JobsQueued != 800 || snap.LatencyCount != 800 {
+		t.Fatalf("snapshot after concurrent updates = %+v", snap)
+	}
+}
+
+func TestSnapshotRenderProm(t *testing.T) {
+	s := NewServiceStats()
+	s.JobsDone.Add(5)
+	s.CacheHits.Add(2)
+	s.ObserveLatency(40 * time.Millisecond)
+	text := s.Snapshot().RenderProm("rescqd")
+	for _, want := range []string{
+		"# TYPE rescqd_jobs_done_total counter",
+		"rescqd_jobs_done_total 5",
+		"rescqd_cache_hits_total 2",
+		"# TYPE rescqd_jobs_running gauge",
+		`rescqd_job_latency_ms{quantile="0.5"} 40`,
+		`rescqd_job_latency_ms{quantile="0.99"} 40`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("rendered metrics missing %q:\n%s", want, text)
+		}
+	}
+}

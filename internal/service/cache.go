@@ -1,0 +1,108 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+)
+
+// fnv32a is an inline, zero-allocation FNV-1a over s, used to pick shards
+// on the serving hot path (hash/fnv's hasher allocates per call).
+func fnv32a(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+const cacheShards = 8
+
+// resultCache is a sharded LRU over deterministic results (rescq.Summary
+// for simulations, string reports for experiments). Keys are the stable
+// digests from rescq.CacheKey, so sharding by key hash spreads uniformly
+// and each shard's lock only contends with 1/8th of the traffic.
+type resultCache struct {
+	shards [cacheShards]*cacheShard
+}
+
+type cacheShard struct {
+	mu      sync.Mutex
+	cap     int
+	order   *list.List // front = most recent; values are *cacheEntry
+	entries map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key string
+	val any
+}
+
+func newResultCache(capacity int) *resultCache {
+	c := &resultCache{}
+	per := capacity / cacheShards
+	if per < 1 {
+		per = 1
+	}
+	for i := range c.shards {
+		c.shards[i] = &cacheShard{
+			cap:     per,
+			order:   list.New(),
+			entries: make(map[string]*list.Element),
+		}
+	}
+	return c
+}
+
+func (c *resultCache) shard(key string) *cacheShard {
+	return c.shards[fnv32a(key)%cacheShards]
+}
+
+func (c *resultCache) get(key string) (any, bool) {
+	sh := c.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	el, ok := sh.entries[key]
+	if !ok {
+		return nil, false
+	}
+	sh.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
+func (c *resultCache) put(key string, val any) {
+	sh := c.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if el, ok := sh.entries[key]; ok {
+		el.Value.(*cacheEntry).val = val
+		sh.order.MoveToFront(el)
+		return
+	}
+	sh.entries[key] = sh.order.PushFront(&cacheEntry{key: key, val: val})
+	for sh.order.Len() > sh.cap {
+		oldest := sh.order.Back()
+		sh.order.Remove(oldest)
+		delete(sh.entries, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// len reports the total entry count across shards.
+func (c *resultCache) len() int {
+	n := 0
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		n += sh.order.Len()
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// capacity reports the total entry budget across shards.
+func (c *resultCache) capacity() int {
+	n := 0
+	for _, sh := range c.shards {
+		n += sh.cap
+	}
+	return n
+}

@@ -1,0 +1,88 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestCacheGetPut(t *testing.T) {
+	c := newResultCache(64)
+	if _, ok := c.get("missing"); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	c.put("a", "first")
+	v, ok := c.get("a")
+	if !ok || v.(string) != "first" {
+		t.Fatalf("get after put = %v/%v", v, ok)
+	}
+	c.put("a", "second")
+	if v, _ := c.get("a"); v.(string) != "second" {
+		t.Fatalf("same-key put did not overwrite: %v", v)
+	}
+	if c.len() != 1 {
+		t.Fatalf("len = %d, want 1 (update must not duplicate)", c.len())
+	}
+}
+
+func TestCacheBoundedEviction(t *testing.T) {
+	c := newResultCache(16)
+	if got := c.capacity(); got != 16 {
+		t.Fatalf("capacity = %d, want 16", got)
+	}
+	for i := 0; i < 500; i++ {
+		c.put(fmt.Sprintf("key-%d", i), i)
+	}
+	if c.len() > c.capacity() {
+		t.Fatalf("len %d exceeds capacity %d", c.len(), c.capacity())
+	}
+	// The newest keys (per shard) survive; key-499 landed last in its
+	// shard so must still be resident.
+	if _, ok := c.get("key-499"); !ok {
+		t.Fatal("most recent key was evicted")
+	}
+}
+
+func TestCacheLRUOrderWithinShard(t *testing.T) {
+	// One entry per shard: re-touching a key must protect it from the
+	// eviction a fresh key in the same shard triggers.
+	c := newResultCache(cacheShards)
+	sh := c.shard("x")
+	var same []string
+	for i := 0; same == nil || len(same) < 3; i++ {
+		k := fmt.Sprintf("k%d", i)
+		if c.shard(k) == sh {
+			same = append(same, k)
+		}
+	}
+	c.put(same[0], 0)
+	c.put(same[1], 1) // evicts same[0] (per-shard cap 1)
+	if _, ok := c.get(same[0]); ok {
+		t.Fatal("oldest entry survived beyond shard capacity")
+	}
+	if v, ok := c.get(same[1]); !ok || v.(int) != 1 {
+		t.Fatalf("newest entry missing: %v/%v", v, ok)
+	}
+}
+
+func TestCacheConcurrentAccess(t *testing.T) {
+	c := newResultCache(128)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("key-%d", (g*13+i)%64)
+				c.put(key, i)
+				c.get(key)
+				c.len()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.len() > c.capacity() {
+		t.Fatalf("len %d exceeds capacity %d", c.len(), c.capacity())
+	}
+}

@@ -1,0 +1,382 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"time"
+
+	rescq "repro"
+)
+
+// RunRequest is the POST /v1/run payload. Exactly one of Benchmark,
+// CircuitText or Experiment must be set.
+type RunRequest struct {
+	// Benchmark names a Table 3 circuit, e.g. "gcm_n13".
+	Benchmark string `json:"benchmark,omitempty"`
+	// CircuitText is a circuit in the artifact text format; Name labels it.
+	CircuitText string `json:"circuit_text,omitempty"`
+	Name        string `json:"name,omitempty"`
+	// Experiment regenerates a paper table/figure (see GET /v1/benchmarks
+	// for benchmarks, rescq.ExperimentIDs for ids); Quick runs the reduced
+	// sweep.
+	Experiment string `json:"experiment,omitempty"`
+	Quick      bool   `json:"quick,omitempty"`
+	// Options configures the simulation (ignored for Experiment payloads).
+	Options rescq.Options `json:"options"`
+	// Async returns a job id immediately instead of waiting.
+	Async bool `json:"async,omitempty"`
+	// IncludeLatencies keeps the per-gate latency arrays in the response
+	// (they are stripped by default — tens of thousands of ints per run).
+	IncludeLatencies bool `json:"include_latencies,omitempty"`
+}
+
+// RunResponse is the POST /v1/run reply.
+type RunResponse struct {
+	JobID   string         `json:"job_id"`
+	State   JobState       `json:"state"`
+	Cached  bool           `json:"cached,omitempty"`
+	Summary *rescq.Summary `json:"summary,omitempty"`
+	Report  string         `json:"report,omitempty"`
+	Error   string         `json:"error,omitempty"`
+}
+
+// JobProgress reports how far a job has advanced.
+type JobProgress struct {
+	Done  int `json:"done"`
+	Total int `json:"total"`
+}
+
+// JobView is the GET /v1/jobs/{id} payload.
+type JobView struct {
+	ID       string         `json:"id"`
+	Kind     string         `json:"kind"`
+	State    JobState       `json:"state"`
+	Created  time.Time      `json:"created"`
+	Started  *time.Time     `json:"started,omitempty"`
+	Finished *time.Time     `json:"finished,omitempty"`
+	Progress JobProgress    `json:"progress"`
+	Results  []ConfigResult `json:"results,omitempty"`
+	Error    string         `json:"error,omitempty"`
+}
+
+func (s *Server) jobView(j *Job, includeResults bool) JobView {
+	state, started, finished, results, err := j.snapshot()
+	v := JobView{
+		ID:       j.ID,
+		Kind:     j.Kind,
+		State:    state,
+		Created:  j.Created,
+		Progress: JobProgress{Done: len(results), Total: len(j.specs)},
+	}
+	if !started.IsZero() {
+		v.Started = &started
+	}
+	if !finished.IsZero() {
+		v.Finished = &finished
+	}
+	if includeResults {
+		v.Results = results
+	}
+	if err != nil {
+		v.Error = err.Error()
+	}
+	return v
+}
+
+// stripLatencies drops the per-gate latency arrays from a result via a
+// fresh Summary copy (the original — e.g. the cache's — is untouched).
+// fillResult applies it at store time unless the request opted in with
+// include_latencies, so stored jobs stay small.
+func stripLatencies(res *ConfigResult) {
+	if res.Summary == nil {
+		return
+	}
+	sum := *res.Summary
+	sum.Runs = append([]rescq.Result(nil), sum.Runs...)
+	for i := range sum.Runs {
+		sum.Runs[i].CNOTLatencies = nil
+		sum.Runs[i].RzLatencies = nil
+	}
+	res.Summary = &sum
+}
+
+// Handler returns the daemon's HTTP routing table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/run", s.handleRun)
+	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
+	mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+// submitStatus maps a submission error to its HTTP status.
+func submitStatus(err error) int {
+	if errors.Is(err, ErrQueueFull) || errors.Is(err, ErrDraining) {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusBadRequest
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req RunRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	spec, err := s.validateRun(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	j := s.newJob("run", []runSpec{spec})
+	if err := s.submit(j); err != nil {
+		writeError(w, submitStatus(err), err)
+		return
+	}
+	if req.Async {
+		writeJSON(w, http.StatusAccepted, s.jobView(j, false))
+		return
+	}
+	select {
+	case <-j.Done():
+	case <-r.Context().Done():
+		// The client went away; nobody will read the result, so stop the
+		// job at its next configuration boundary.
+		j.Cancel()
+		return
+	}
+	_, _, _, results, jerr := j.snapshot()
+	resp := RunResponse{JobID: j.ID, State: j.State()}
+	if len(results) == 1 {
+		res := results[0]
+		resp.Cached = res.Cached
+		resp.Summary = res.Summary
+		resp.Report = res.Report
+		resp.Error = res.Error
+	} else if jerr != nil {
+		resp.Error = jerr.Error()
+	}
+	status := http.StatusOK
+	if resp.State == JobFailed {
+		status = http.StatusUnprocessableEntity
+	}
+	writeJSON(w, status, resp)
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	specs, err := s.expandSweep(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	j := s.newJob("sweep", specs)
+	if err := s.submit(j); err != nil {
+		writeError(w, submitStatus(err), err)
+		return
+	}
+	switch {
+	case req.Async:
+		writeJSON(w, http.StatusAccepted, s.jobView(j, false))
+	case req.Stream == StreamSSE:
+		s.streamSSE(w, r, j)
+	case req.Stream == StreamNDJSON:
+		s.streamNDJSON(w, r, j)
+	default:
+		// Plain synchronous sweep: wait and return the whole job.
+		select {
+		case <-j.Done():
+			writeJSON(w, http.StatusOK, s.jobView(j, true))
+		case <-r.Context().Done():
+			j.Cancel()
+		}
+	}
+}
+
+// streamSSE publishes one Server-Sent Event per completed configuration,
+// then a terminal "done" event with the job view (results elided — the
+// client already streamed them).
+func (s *Server) streamSSE(w http.ResponseWriter, r *http.Request, j *Job) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusNotImplemented, errors.New("service: streaming unsupported"))
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	h.Set("X-Job-ID", j.ID)
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	emit := func(event string, v any) {
+		data, err := json.Marshal(v)
+		if err != nil {
+			return
+		}
+		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+		flusher.Flush()
+	}
+	s.streamEvents(r, j,
+		func(res ConfigResult) { emit("config", res) },
+		func() { emit("done", s.jobView(j, false)) })
+}
+
+// streamNDJSON publishes one JSON line per completed configuration, then a
+// terminal line holding the job view.
+func (s *Server) streamNDJSON(w http.ResponseWriter, r *http.Request, j *Job) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusNotImplemented, errors.New("service: streaming unsupported"))
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "application/x-ndjson")
+	h.Set("X-Job-ID", j.ID)
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	s.streamEvents(r, j,
+		func(res ConfigResult) { enc.Encode(res); flusher.Flush() },
+		func() { enc.Encode(s.jobView(j, false)); flusher.Flush() })
+}
+
+// streamEvents drives a streaming response: per-configuration callbacks in
+// completion order, then the terminal callback. A client disconnect cancels
+// the job.
+func (s *Server) streamEvents(r *http.Request, j *Job, onConfig func(ConfigResult), onDone func()) {
+	for {
+		select {
+		case res, ok := <-j.events:
+			if !ok {
+				onDone()
+				return
+			}
+			onConfig(res)
+		case <-r.Context().Done():
+			// The worker's sends are buffered to len(specs), so abandoning
+			// the channel cannot block it; stop the job and return now
+			// rather than pinning this goroutine until a (possibly still
+			// queued) job reaches its cancellation boundary.
+			j.Cancel()
+			return
+		}
+	}
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	jobs := s.Jobs()
+	views := make([]JobView, 0, len(jobs))
+	for _, j := range jobs {
+		views = append(views, s.jobView(j, false))
+	}
+	sort.Slice(views, func(a, b int) bool { return views[a].ID < views[b].ID })
+	writeJSON(w, http.StatusOK, views)
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("service: unknown job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.jobView(j, true))
+}
+
+func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("service: unknown job %q", r.PathValue("id")))
+		return
+	}
+	j.Cancel()
+	writeJSON(w, http.StatusOK, s.jobView(j, false))
+}
+
+func (s *Server) handleBenchmarks(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, rescq.Benchmarks())
+}
+
+type healthBody struct {
+	Status    string  `json:"status"`
+	UptimeSec float64 `json:"uptime_sec"`
+	Draining  bool    `json:"draining"`
+	Workers   int     `json:"workers"`
+	Queued    int     `json:"queued"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	body := healthBody{
+		Status:    "ok",
+		UptimeSec: time.Since(s.startTime).Seconds(),
+		Draining:  s.Draining(),
+		Workers:   s.workers,
+		Queued:    len(s.queue),
+	}
+	status := http.StatusOK
+	if body.Draining {
+		body.Status = "draining"
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, body)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	snap := s.stats.Snapshot()
+	fmt.Fprint(w, snap.RenderProm("rescqd"))
+	entries, capacity := 0, 0
+	if s.cache != nil {
+		entries, capacity = s.cache.len(), s.cache.capacity()
+	}
+	fmt.Fprintf(w, "# HELP rescqd_cache_entries Result-cache entries resident.\n# TYPE rescqd_cache_entries gauge\nrescqd_cache_entries %d\n", entries)
+	fmt.Fprintf(w, "# HELP rescqd_cache_capacity Result-cache entry budget.\n# TYPE rescqd_cache_capacity gauge\nrescqd_cache_capacity %d\n", capacity)
+	fmt.Fprintf(w, "# HELP rescqd_queue_pending Jobs waiting in the queue.\n# TYPE rescqd_queue_pending gauge\nrescqd_queue_pending %d\n", len(s.queue))
+	fmt.Fprintf(w, "# HELP rescqd_uptime_seconds Daemon uptime.\n# TYPE rescqd_uptime_seconds gauge\nrescqd_uptime_seconds %.0f\n", time.Since(s.startTime).Seconds())
+}
+
+// maxRequestBody bounds a submission body. The largest legitimate payloads
+// are circuit texts, which top out well under a megabyte for the Table 3
+// suite; 8 MiB leaves room for bigger hand-written circuits while keeping
+// one hostile request from buffering unbounded JSON into memory.
+const maxRequestBody = 8 << 20
+
+// decodeBody parses a JSON request body strictly (size-capped, unknown
+// fields rejected).
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("service: bad request body: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,593 @@
+// Package service implements rescqd, the long-running serving layer in
+// front of the rescq simulation engine: an HTTP/JSON daemon that turns the
+// one-shot CLI workflow into a job-queue service suitable for sustained
+// traffic.
+//
+// # Endpoints
+//
+//	POST /v1/run         submit one simulation (benchmark, circuit text, or
+//	                     a paper experiment id); waits by default, or
+//	                     returns a job id immediately with "async": true
+//	POST /v1/sweep       submit a benchmark x scheduler x parameter grid;
+//	                     streams per-configuration results (SSE or NDJSON)
+//	                     or runs as an async job
+//	GET  /v1/jobs        list jobs
+//	GET  /v1/jobs/{id}   job status, progress and (partial) results
+//	DELETE /v1/jobs/{id} cancel a queued or running job
+//	GET  /v1/benchmarks  the Table 3 benchmark suite
+//	GET  /healthz        liveness (503 while draining)
+//	GET  /metrics        Prometheus text metrics
+//
+// # Job lifecycle
+//
+// A submission is validated synchronously (malformed grids and options are
+// rejected with 400 before anything is enqueued), expanded into one or more
+// run configurations, and enqueued as a job on a bounded queue; a full
+// queue rejects with 503. A bounded worker pool — built on sim.ParallelFor,
+// one long-lived worker per slot — drains the queue. Jobs move through
+// queued -> running -> done | failed | cancelled. Sweep configurations
+// execute in submission order with per-configuration progress; cancellation
+// (client disconnect on a waiting/streaming request, or DELETE) takes
+// effect at the next configuration boundary — an individual engine run is
+// never interrupted. On shutdown the daemon stops accepting work, lets the
+// workers drain every accepted job, and only cancels in-flight jobs if the
+// drain budget expires. Terminal jobs stay inspectable via GET /v1/jobs up
+// to a retention bound (the most recent 1024); older ones are evicted so a
+// long-running daemon's memory stays flat.
+//
+// # Cache semantics
+//
+// Results are memoized in a sharded LRU keyed by rescq.CacheKey: a hash of
+// the circuit identity (benchmark name, or the full circuit text) and the
+// canonical rescq.Options (rescq.Options.Canonical — defaults applied,
+// execution-only fields such as Parallel stripped). Simulations are fully
+// deterministic given that key, so a hit is byte-identical to a re-run and
+// is served without invoking the engine. Identical configurations inside
+// one sweep, across sweeps, and across run/sweep requests all share the
+// cache. Concurrent identical configurations are coalesced: followers wait
+// for the in-flight leader and are then served from the freshly filled
+// cache instead of re-running the engine. Paper experiments are cached by
+// (experiment id, quick). The hit/miss/engine-run counters on /metrics
+// make cache behavior observable (and testable).
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	rescq "repro"
+	"repro/internal/config"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// Runner abstracts the simulation engine behind the daemon. Production use
+// is EngineRunner; tests substitute counting or stalling runners to assert
+// cache hits and drain behavior.
+type Runner interface {
+	Run(benchmark string, opts rescq.Options) (rescq.Summary, error)
+	RunCircuitText(name, text string, opts rescq.Options) (rescq.Summary, error)
+	Experiment(id string, quick bool) (string, error)
+}
+
+// EngineRunner is the Runner backed by the real rescq engine.
+type EngineRunner struct{}
+
+func (EngineRunner) Run(benchmark string, opts rescq.Options) (rescq.Summary, error) {
+	return rescq.Run(benchmark, opts)
+}
+
+func (EngineRunner) RunCircuitText(name, text string, opts rescq.Options) (rescq.Summary, error) {
+	return rescq.RunCircuitText(name, text, opts)
+}
+
+func (EngineRunner) Experiment(id string, quick bool) (string, error) {
+	return rescq.Experiment(id, quick)
+}
+
+// JobState is a job's lifecycle phase.
+type JobState string
+
+const (
+	JobQueued    JobState = "queued"
+	JobRunning   JobState = "running"
+	JobDone      JobState = "done"
+	JobFailed    JobState = "failed"
+	JobCancelled JobState = "cancelled"
+)
+
+// runSpec is one fully-validated run configuration inside a job.
+type runSpec struct {
+	// Exactly one of Benchmark, CircuitText or Experiment is set.
+	Benchmark   string
+	Name        string // label for CircuitText runs
+	CircuitText string
+	Experiment  string
+	Quick       bool
+	Opts        rescq.Options
+	// KeepLatencies retains the per-gate latency arrays in the stored
+	// result (tens of thousands of ints per run; stripped otherwise).
+	KeepLatencies bool
+}
+
+// ConfigResult reports one completed run configuration of a job.
+type ConfigResult struct {
+	Index     int            `json:"index"`
+	Benchmark string         `json:"benchmark,omitempty"`
+	Scheduler string         `json:"scheduler,omitempty"`
+	Options   *rescq.Options `json:"options,omitempty"`
+	Cached    bool           `json:"cached"`
+	Summary   *rescq.Summary `json:"summary,omitempty"`
+	Report    string         `json:"report,omitempty"` // experiment payloads
+	Error     string         `json:"error,omitempty"`
+}
+
+// Job is one queued/running/finished unit of work.
+type Job struct {
+	ID      string
+	Kind    string // "run" or "sweep"
+	Created time.Time
+
+	specs []runSpec
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	doneCh chan struct{}
+	events chan ConfigResult // buffered len(specs); closed when job finishes
+
+	mu       sync.Mutex
+	state    JobState
+	started  time.Time
+	finished time.Time
+	results  []ConfigResult
+	err      error
+}
+
+// State returns the job's current lifecycle phase.
+func (j *Job) State() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.doneCh }
+
+// Cancel requests cancellation; it takes effect at the next configuration
+// boundary (queued jobs are dropped when a worker picks them up).
+func (j *Job) Cancel() { j.cancel() }
+
+// snapshot copies the mutable job fields for rendering.
+func (j *Job) snapshot() (state JobState, started, finished time.Time, results []ConfigResult, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state, j.started, j.finished, append([]ConfigResult(nil), j.results...), j.err
+}
+
+// ErrQueueFull is returned when the bounded job queue rejects a submission.
+var ErrQueueFull = errors.New("service: job queue full")
+
+// ErrDraining is returned for submissions after shutdown began.
+var ErrDraining = errors.New("service: draining, not accepting jobs")
+
+const jobShards = 8
+
+// maxFinishedJobs bounds how many terminal jobs the registry retains for
+// GET /v1/jobs inspection; beyond it the oldest-finished are evicted so a
+// long-running daemon's memory stays flat. Queued/running jobs are never
+// evicted.
+const maxFinishedJobs = 1024
+
+type jobShard struct {
+	mu   sync.Mutex
+	jobs map[string]*Job
+}
+
+// Server owns the job queue, the worker pool, the result cache and the
+// metrics. Create with New, start the pool with Start, serve Handler over
+// HTTP, stop with Shutdown.
+type Server struct {
+	cfg    config.Daemon
+	runner Runner
+	stats  *metrics.ServiceStats
+	cache  *resultCache // nil when caching is disabled
+	queue  chan *Job
+
+	shards [jobShards]jobShard
+
+	finMu       sync.Mutex
+	finishedIDs []string // terminal jobs in finish order, oldest first
+
+	flightMu sync.Mutex
+	inflight map[string]chan struct{} // cache keys being computed right now
+
+	mu        sync.Mutex
+	accepting bool
+	started   bool
+	draining  atomic.Bool
+	poolDone  chan struct{}
+	baseCtx   context.Context
+	baseStop  context.CancelFunc
+	startTime time.Time
+	nextID    atomic.Int64
+	workers   int
+}
+
+// New builds a server from the daemon config. A nil runner uses the real
+// engine.
+func New(cfg config.Daemon, runner Runner) *Server {
+	cfg = cfg.WithDefaults()
+	if runner == nil {
+		runner = EngineRunner{}
+	}
+	ctx, stop := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:       cfg,
+		runner:    runner,
+		stats:     metrics.NewServiceStats(),
+		queue:     make(chan *Job, cfg.QueueDepth),
+		poolDone:  make(chan struct{}),
+		baseCtx:   ctx,
+		baseStop:  stop,
+		startTime: time.Now(),
+	}
+	if cfg.CacheEntries > 0 {
+		s.cache = newResultCache(cfg.CacheEntries)
+		s.inflight = make(map[string]chan struct{})
+	}
+	for i := range s.shards {
+		s.shards[i].jobs = make(map[string]*Job)
+	}
+	return s
+}
+
+// Stats exposes the metrics counters (used by handlers and tests).
+func (s *Server) Stats() *metrics.ServiceStats { return s.stats }
+
+// Workers reports the resolved worker-pool width (valid after Start).
+func (s *Server) Workers() int { return s.workers }
+
+// Start launches the worker pool. The pool is literally sim.ParallelFor
+// over the worker count — each iteration is one long-lived worker draining
+// the shared queue until Shutdown closes it — so the daemon reuses the same
+// bounded-pool primitive as the engine's seed fan-out.
+func (s *Server) Start() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started {
+		return
+	}
+	s.started = true
+	s.accepting = true
+	workers := s.cfg.Workers
+	if workers <= 0 {
+		workers = sim.DefaultWorkers() // one per CPU, like the engine's pool
+	}
+	s.workers = workers
+	go func() {
+		// With workers == 1, ParallelFor runs serially on this goroutine —
+		// exactly one dedicated worker, as configured.
+		sim.ParallelFor(workers, workers, func(int) { s.worker() })
+		close(s.poolDone)
+	}()
+}
+
+// Shutdown drains gracefully: stop accepting, close the queue, and wait for
+// the workers to finish every accepted job. If ctx expires first, in-flight
+// jobs are cancelled at their next configuration boundary and Shutdown
+// returns ctx.Err() after the pool exits.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.started {
+		s.accepting = false
+		s.mu.Unlock()
+		return nil
+	}
+	// Close the queue under the same lock submit holds for its send (see
+	// submit): once we release it no sender can race the close.
+	if s.accepting {
+		s.accepting = false
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	s.draining.Store(true)
+	select {
+	case <-s.poolDone:
+		return nil
+	case <-ctx.Done():
+		s.baseStop() // cancel in-flight jobs, then wait for the pool
+		<-s.poolDone
+		return ctx.Err()
+	}
+}
+
+// Draining reports whether shutdown has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+func (s *Server) shard(id string) *jobShard {
+	return &s.shards[fnv32a(id)%jobShards]
+}
+
+func (s *Server) registerJob(j *Job) {
+	sh := s.shard(j.ID)
+	sh.mu.Lock()
+	sh.jobs[j.ID] = j
+	sh.mu.Unlock()
+}
+
+// Job looks up a job by id.
+func (s *Server) Job(id string) (*Job, bool) {
+	sh := s.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	j, ok := sh.jobs[id]
+	return j, ok
+}
+
+// Jobs returns every known job (unordered).
+func (s *Server) Jobs() []*Job {
+	var out []*Job
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for _, j := range sh.jobs {
+			out = append(out, j)
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// newJob allocates and registers a job over the given validated specs.
+func (s *Server) newJob(kind string, specs []runSpec) *Job {
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	j := &Job{
+		ID:      fmt.Sprintf("job-%06d", s.nextID.Add(1)),
+		Kind:    kind,
+		Created: time.Now(),
+		specs:   specs,
+		ctx:     ctx,
+		cancel:  cancel,
+		doneCh:  make(chan struct{}),
+		events:  make(chan ConfigResult, len(specs)),
+		state:   JobQueued,
+	}
+	s.registerJob(j)
+	return j
+}
+
+// submit enqueues a job, rejecting when draining or full. The accepting
+// check and the queue send happen under one lock so a concurrent Shutdown
+// (which closes the queue) can never interleave between them.
+func (s *Server) submit(j *Job) error {
+	s.mu.Lock()
+	if !s.accepting {
+		s.mu.Unlock()
+		s.stats.JobsRejected.Add(1)
+		s.failFast(j, ErrDraining)
+		return ErrDraining
+	}
+	select {
+	case s.queue <- j:
+		s.mu.Unlock()
+		s.stats.JobsQueued.Add(1)
+		return nil
+	default:
+		s.mu.Unlock()
+		s.stats.JobsRejected.Add(1)
+		s.failFast(j, ErrQueueFull)
+		return ErrQueueFull
+	}
+}
+
+// failFast marks a never-enqueued job failed so its registry entry is not
+// stuck in "queued" forever.
+func (s *Server) failFast(j *Job, err error) {
+	j.mu.Lock()
+	j.state = JobFailed
+	j.err = err
+	j.finished = time.Now()
+	j.mu.Unlock()
+	close(j.events)
+	close(j.doneCh)
+	s.retireJob(j.ID)
+}
+
+// retireJob records a terminal job and evicts the oldest finished jobs
+// beyond the retention bound. Waiters holding the *Job keep it alive
+// regardless; eviction only drops the registry's reference.
+func (s *Server) retireJob(id string) {
+	s.finMu.Lock()
+	s.finishedIDs = append(s.finishedIDs, id)
+	var evict []string
+	if n := len(s.finishedIDs) - maxFinishedJobs; n > 0 {
+		evict = append([]string(nil), s.finishedIDs[:n]...)
+		s.finishedIDs = append([]string(nil), s.finishedIDs[n:]...)
+	}
+	s.finMu.Unlock()
+	for _, old := range evict {
+		sh := s.shard(old)
+		sh.mu.Lock()
+		delete(sh.jobs, old)
+		sh.mu.Unlock()
+	}
+}
+
+// worker is one pool slot: it drains the queue until Shutdown closes it.
+func (s *Server) worker() {
+	for j := range s.queue {
+		s.execute(j)
+	}
+}
+
+// execute runs every configuration of a job, publishing per-configuration
+// results and progress as it goes.
+func (s *Server) execute(j *Job) {
+	start := time.Now()
+	j.mu.Lock()
+	j.state = JobRunning
+	j.started = start
+	j.mu.Unlock()
+	s.stats.JobsRunning.Add(1)
+	defer s.stats.JobsRunning.Add(-1)
+
+	cancelled := false
+	failures := 0
+	for i, spec := range j.specs {
+		if j.ctx.Err() != nil {
+			cancelled = true
+			break
+		}
+		res := s.runOne(spec)
+		res.Index = i
+		if res.Error != "" {
+			failures++
+		}
+		j.mu.Lock()
+		j.results = append(j.results, res)
+		j.mu.Unlock()
+		j.events <- res // buffered to len(specs): never blocks
+	}
+
+	j.mu.Lock()
+	switch {
+	case cancelled:
+		j.state = JobCancelled
+		j.err = context.Canceled
+		s.stats.JobsCancelled.Add(1)
+	case failures == len(j.specs) || (j.Kind == "run" && failures > 0):
+		// A sweep with partial failures still reports as done with
+		// per-configuration errors; only total failure (or any failure of
+		// a single-configuration run) fails the job.
+		j.state = JobFailed
+		j.err = fmt.Errorf("service: %d/%d configurations failed", failures, len(j.specs))
+		s.stats.JobsFailed.Add(1)
+	default:
+		j.state = JobDone
+		s.stats.JobsDone.Add(1)
+	}
+	j.finished = time.Now()
+	j.mu.Unlock()
+	close(j.events)
+	close(j.doneCh)
+	s.retireJob(j.ID)
+	s.stats.ObserveLatency(time.Since(start))
+}
+
+// runOne executes (or serves from cache) a single configuration.
+func (s *Server) runOne(spec runSpec) ConfigResult {
+	res := ConfigResult{
+		Benchmark: spec.Benchmark,
+		Scheduler: string(spec.Opts.Scheduler),
+	}
+	if spec.Benchmark == "" && spec.CircuitText != "" {
+		res.Benchmark = spec.Name
+	}
+
+	var key string
+	switch {
+	case spec.Experiment != "":
+		res.Benchmark, res.Scheduler = "", ""
+		key = fmt.Sprintf("exp:%s:quick=%t", spec.Experiment, spec.Quick)
+	case spec.CircuitText != "":
+		key = rescq.CacheKey("text:"+spec.Name+"\x00"+spec.CircuitText, spec.Opts)
+	default:
+		key = rescq.CacheKey("bench:"+spec.Benchmark, spec.Opts)
+	}
+
+	if s.cache != nil {
+		if v, ok := s.cache.get(key); ok {
+			s.stats.CacheHits.Add(1)
+			res.Cached = true
+			fillResult(&res, spec, v)
+			return res
+		}
+		// Coalesce concurrent identical configurations: followers wait for
+		// the in-flight leader instead of re-running the engine, then are
+		// served from the freshly filled cache.
+		if !s.joinFlight(key) {
+			if v, ok := s.cache.get(key); ok {
+				s.stats.CacheHits.Add(1)
+				res.Cached = true
+				fillResult(&res, spec, v)
+				return res
+			}
+			// The leader failed (or could not cache); compute it ourselves.
+		} else {
+			defer s.leaveFlight(key)
+		}
+		s.stats.CacheMisses.Add(1)
+	}
+
+	// The cache always stores the full Summary (so a later request with
+	// include_latencies can still be served); fillResult trims the stored
+	// per-job copy unless this spec asked to keep the arrays.
+
+	s.stats.EngineRuns.Add(1)
+	var (
+		val any
+		err error
+	)
+	switch {
+	case spec.Experiment != "":
+		val, err = s.runner.Experiment(spec.Experiment, spec.Quick)
+	case spec.CircuitText != "":
+		val, err = s.runner.RunCircuitText(spec.Name, spec.CircuitText, spec.Opts)
+	default:
+		val, err = s.runner.Run(spec.Benchmark, spec.Opts)
+	}
+	if err != nil {
+		res.Error = err.Error()
+		return res
+	}
+	if s.cache != nil {
+		s.cache.put(key, val)
+	}
+	fillResult(&res, spec, val)
+	return res
+}
+
+// joinFlight returns true if the caller became the leader for key (and
+// must call leaveFlight when done); false means an in-flight leader existed
+// and has since finished — the caller should re-check the cache. Followers
+// block for the leader's whole engine run, which is the point: computing
+// the same configuration in parallel would cost the same wall-clock for
+// N× the CPU.
+func (s *Server) joinFlight(key string) (leader bool) {
+	s.flightMu.Lock()
+	if c, ok := s.inflight[key]; ok {
+		s.flightMu.Unlock()
+		<-c
+		return false
+	}
+	s.inflight[key] = make(chan struct{})
+	s.flightMu.Unlock()
+	return true
+}
+
+func (s *Server) leaveFlight(key string) {
+	s.flightMu.Lock()
+	c := s.inflight[key]
+	delete(s.inflight, key)
+	s.flightMu.Unlock()
+	close(c)
+}
+
+func fillResult(res *ConfigResult, spec runSpec, val any) {
+	switch v := val.(type) {
+	case rescq.Summary:
+		opts := spec.Opts.Canonical()
+		res.Options = &opts
+		sum := v
+		res.Summary = &sum
+		if !spec.KeepLatencies {
+			stripLatencies(res)
+		}
+	case string:
+		res.Report = v
+	}
+}

@@ -49,3 +49,8 @@ func ParallelFor(n, workers int, fn func(i int)) {
 	}
 	wg.Wait()
 }
+
+// DefaultWorkers returns the pool width ParallelFor uses for workers <= 0:
+// one worker per CPU. Exported so other bounded pools (the rescqd service
+// layer) size themselves identically.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }

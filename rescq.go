@@ -49,6 +49,8 @@
 package rescq
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"math/rand"
 
@@ -75,30 +77,31 @@ const (
 	RESCQ SchedulerKind = "rescq"
 )
 
-// Options configures a simulation.
+// Options configures a simulation. The JSON field names are the wire
+// format of the rescqd daemon's job requests (see internal/service).
 type Options struct {
 	// Scheduler picks the policy; default RESCQ.
-	Scheduler SchedulerKind
+	Scheduler SchedulerKind `json:"scheduler,omitempty"`
 	// Distance is the surface code distance d; default 7.
-	Distance int
+	Distance int `json:"distance,omitempty"`
 	// PhysError is the physical qubit error rate p; default 1e-4.
-	PhysError float64
+	PhysError float64 `json:"phys_error,omitempty"`
 	// K is RESCQ's MST recomputation period in cycles; default 25.
-	K int
+	K int `json:"k,omitempty"`
 	// TauMST is RESCQ's modeled MST computation latency; default 100.
-	TauMST int
+	TauMST int `json:"tau_mst,omitempty"`
 	// Compression removes ancillas down to the STAR compressed blocks:
 	// 0 keeps all three ancillas per data qubit, 1 compresses every
 	// block to a single ancilla (paper section 5.3).
-	Compression float64
+	Compression float64 `json:"compression,omitempty"`
 	// Runs is the number of independent seeded runs; default 3.
-	Runs int
+	Runs int `json:"runs,omitempty"`
 	// Seed is the base random seed; run i uses Seed+i. Default 1.
-	Seed int64
+	Seed int64 `json:"seed,omitempty"`
 	// Parallel executes the Runs seeded simulations concurrently on a
 	// bounded worker pool (one worker per CPU). Results are aggregated in
 	// seed order, so the Summary is byte-identical to a serial run.
-	Parallel bool
+	Parallel bool `json:"parallel,omitempty"`
 }
 
 func (o Options) withDefaults() Options {
@@ -118,6 +121,52 @@ func (o Options) withDefaults() Options {
 		o.Seed = 1
 	}
 	return o
+}
+
+// Canonical returns the options in canonical form: defaults applied and
+// execution-only fields normalized away. Two Options values that produce
+// byte-identical Summaries for the same circuit have equal canonical forms;
+// in particular Parallel is cleared (it changes how the seeded runs are
+// scheduled, never what they compute) and the K/TauMST knobs of the RESCQ
+// scheduler are zeroed for the static baselines, which ignore them. The
+// rescqd daemon keys its result cache on this form via CacheKey.
+func (o Options) Canonical() Options {
+	o = o.withDefaults()
+	o.Parallel = false
+	if o.Scheduler != RESCQ {
+		o.K = 0
+		o.TauMST = 0
+	} else {
+		// Materialize the engine-side defaults so the implicit and
+		// explicit spellings of the paper's operating point (K=25,
+		// TauMST=100) share one canonical form. Read from
+		// core.DefaultConfig so a future change to the engine's operating
+		// point cannot silently diverge from the cache keys.
+		def := core.DefaultConfig()
+		if o.K <= 0 {
+			o.K = def.K
+		}
+		if o.TauMST < 0 {
+			o.TauMST = 0
+		} else if o.TauMST == 0 {
+			o.TauMST = def.TauMST
+		}
+	}
+	return o
+}
+
+// CacheKey returns a stable hex digest identifying the result of simulating
+// the given circuit identity (a benchmark name or the full circuit text —
+// callers must choose an unambiguous encoding, e.g. "bench:gcm_n13" vs
+// "text:<sha>") under the canonical form of o. Equal keys guarantee equal
+// Summaries, which is what makes memoizing simulation results sound.
+func CacheKey(circuit string, o Options) string {
+	c := o.Canonical()
+	h := sha256.New()
+	fmt.Fprintf(h, "%d:%s\x00sched=%s d=%d p=%.17g k=%d tau=%d comp=%.17g runs=%d seed=%d",
+		len(circuit), circuit, c.Scheduler, c.Distance, c.PhysError, c.K, c.TauMST,
+		c.Compression, c.Runs, c.Seed)
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // Validate reports whether the options are usable.
@@ -140,44 +189,52 @@ func (o Options) Validate() error {
 	if o.Runs < 1 {
 		return fmt.Errorf("rescq: runs must be positive")
 	}
+	if o.K < 0 || o.TauMST < 0 {
+		return fmt.Errorf("rescq: k and tau_mst must be non-negative")
+	}
 	return nil
 }
 
 // Result reports one seeded simulation run.
 type Result struct {
-	Scheduler string
-	Benchmark string
-	Seed      int64
+	Scheduler string `json:"scheduler"`
+	Benchmark string `json:"benchmark"`
+	Seed      int64  `json:"seed"`
 	// TotalCycles is the program makespan in lattice-surgery cycles.
-	TotalCycles int
+	TotalCycles int `json:"total_cycles"`
 	// CNOTLatencies / RzLatencies give per-gate completion latency in
-	// cycles from readiness to completion (Figure 5's quantity).
-	CNOTLatencies []int
-	RzLatencies   []int
+	// cycles from readiness to completion (Figure 5's quantity). They can
+	// run to tens of thousands of entries per run; the rescqd daemon
+	// strips them from responses unless the request asks for them.
+	CNOTLatencies []int `json:"cnot_latencies,omitempty"`
+	RzLatencies   []int `json:"rz_latencies,omitempty"`
 	// MeanIdleFraction averages each data qubit's idle share.
-	MeanIdleFraction float64
-	PrepsStarted     int
-	InjectionsCount  int
-	EdgeRotations    int
+	MeanIdleFraction float64 `json:"mean_idle_fraction"`
+	PrepsStarted     int     `json:"preps_started"`
+	InjectionsCount  int     `json:"injections_count"`
+	EdgeRotations    int     `json:"edge_rotations"`
 }
 
-// Summary pools the runs of one configuration.
+// Summary pools the runs of one configuration. Its JSON encoding is the
+// rescqd daemon's result payload.
 type Summary struct {
-	Benchmark  string
-	Scheduler  string
-	Runs       []Result
-	MeanCycles float64
-	MinCycles  int
-	MaxCycles  int
-	StdCycles  float64
-	MeanIdle   float64
+	Benchmark  string   `json:"benchmark"`
+	Scheduler  string   `json:"scheduler"`
+	Runs       []Result `json:"runs"`
+	MeanCycles float64  `json:"mean_cycles"`
+	MinCycles  int      `json:"min_cycles"`
+	MaxCycles  int      `json:"max_cycles"`
+	StdCycles  float64  `json:"std_cycles"`
+	MeanIdle   float64  `json:"mean_idle"`
 }
 
 // BenchmarkInfo describes one Table 3 benchmark.
 type BenchmarkInfo struct {
-	Name, Suite        string
-	Qubits             int
-	PaperRz, PaperCNOT int
+	Name      string `json:"name"`
+	Suite     string `json:"suite"`
+	Qubits    int    `json:"qubits"`
+	PaperRz   int    `json:"paper_rz"`
+	PaperCNOT int    `json:"paper_cnot"`
 }
 
 // Benchmarks lists the Table 3 suite in the paper's order.

@@ -34,23 +34,8 @@ func TestRunUnknownBenchmark(t *testing.T) {
 	}
 }
 
-func TestOptionsValidate(t *testing.T) {
-	bad := []Options{
-		{Scheduler: "mystery"},
-		{Distance: 4},
-		{PhysError: 0.9},
-		{Compression: 1.5},
-		{Runs: -1},
-	}
-	for _, o := range bad {
-		if err := o.Validate(); err == nil {
-			t.Errorf("options %+v should be invalid", o)
-		}
-	}
-	if err := (Options{}).Validate(); err != nil {
-		t.Errorf("default options should validate: %v", err)
-	}
-}
+// Options.Validate / withDefaults / Canonical coverage lives in
+// options_test.go.
 
 func TestRunCircuitText(t *testing.T) {
 	text := "qubits 3\n3\nh 0\ncx 0 1\nrz 1 pi/3\n"
