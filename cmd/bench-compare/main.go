@@ -1,0 +1,150 @@
+// Command bench-compare guards the headline benchmarks against silent
+// regressions: it parses `go test -bench` output from stdin, compares each
+// benchmark's ns/op against the "after" snapshot in BENCH_baseline.json,
+// and exits non-zero when any benchmark regressed beyond the tolerance.
+// CI pipes the benchmark run straight into it:
+//
+//	go test -run '^$' -bench 'BenchmarkSimulatorRESCQ|BenchmarkFigure13MSTFrequency|BenchmarkMSTCompute' \
+//	    -benchtime 3x . | bench-compare -baseline BENCH_baseline.json -tolerance 0.25
+//
+// Benchmarks present in the baseline but absent from the input are
+// reported and fail the run (a deleted benchmark must be removed from the
+// baseline deliberately); input benchmarks without a baseline entry are
+// ignored. The default tolerance of 0.25 absorbs shared-runner noise while
+// still catching the step-function regressions that matter.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// baselineFile mirrors the shape of BENCH_baseline.json.
+type baselineFile struct {
+	Description string                   `json:"description"`
+	Machine     string                   `json:"machine"`
+	Benchmarks  map[string]baselineEntry `json:"benchmarks"`
+}
+
+type baselineEntry struct {
+	After *baselinePoint `json:"after"`
+}
+
+type baselinePoint struct {
+	NsPerOp float64 `json:"ns_per_op"`
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("bench-compare", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		baselinePath = fs.String("baseline", "BENCH_baseline.json", "baseline snapshot file")
+		tolerance    = fs.Float64("tolerance", 0.25, "allowed fractional ns/op regression vs the baseline 'after' values")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "bench-compare:", err)
+		return 1
+	}
+
+	data, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		return fail(err)
+	}
+	var base baselineFile
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fail(fmt.Errorf("parse %s: %w", *baselinePath, err))
+	}
+
+	current, err := parseBenchOutput(stdin, stdout)
+	if err != nil {
+		return fail(err)
+	}
+
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	regressions := 0
+	for _, name := range names {
+		entry := base.Benchmarks[name]
+		if entry.After == nil || entry.After.NsPerOp <= 0 {
+			continue // informational baseline entries without a pinned after-value
+		}
+		got, ok := current[name]
+		if !ok {
+			fmt.Fprintf(stderr, "bench-compare: %s: in baseline but not in benchmark output\n", name)
+			regressions++
+			continue
+		}
+		limit := entry.After.NsPerOp * (1 + *tolerance)
+		ratio := got / entry.After.NsPerOp
+		verdict := "ok"
+		if got > limit {
+			verdict = "REGRESSED"
+			regressions++
+		}
+		fmt.Fprintf(stdout, "bench-compare: %-32s %12.0f ns/op vs baseline %12.0f (%.2fx, limit %.2fx): %s\n",
+			name, got, entry.After.NsPerOp, ratio, 1+*tolerance, verdict)
+	}
+	if regressions > 0 {
+		fmt.Fprintf(stderr, "bench-compare: %d benchmark(s) regressed beyond %.0f%%\n", regressions, *tolerance*100)
+		return 1
+	}
+	return 0
+}
+
+// parseBenchOutput extracts "BenchmarkName ... <ns> ns/op" measurements
+// from go test -bench output, echoing every line so the measurements stay
+// visible in CI logs. The trailing "-8" GOMAXPROCS suffix is stripped.
+// Repeated runs of one benchmark keep the last measurement.
+func parseBenchOutput(r io.Reader, echo io.Writer) (map[string]float64, error) {
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if echo != nil {
+			fmt.Fprintln(echo, line)
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// BenchmarkName-8  <iters>  <value> ns/op  [more unit pairs...]
+		if len(fields) < 4 {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			if fields[i+1] == "ns/op" {
+				v, err := strconv.ParseFloat(fields[i], 64)
+				if err != nil {
+					return nil, fmt.Errorf("bad ns/op value in %q: %w", line, err)
+				}
+				out[name] = v
+				break
+			}
+		}
+	}
+	return out, sc.Err()
+}

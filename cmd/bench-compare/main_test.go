@@ -1,0 +1,98 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const testBaseline = `{
+  "benchmarks": {
+    "BenchmarkSimulatorRESCQ": {"after": {"ns_per_op": 10000000}},
+    "BenchmarkMSTCompute": {"after": {"ns_per_op": 2000000}},
+    "BenchmarkLegacyNote": {"before": {"ns_per_op": 43457}}
+  }
+}`
+
+func writeBaseline(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(path, []byte(testBaseline), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func compare(t *testing.T, benchOutput string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errOut bytes.Buffer
+	code = run([]string{"-baseline", writeBaseline(t), "-tolerance", "0.25"},
+		strings.NewReader(benchOutput), &out, &errOut)
+	return code, out.String(), errOut.String()
+}
+
+func TestWithinToleranceOK(t *testing.T) {
+	code, stdout, stderr := compare(t, `goos: linux
+BenchmarkSimulatorRESCQ-8   	     100	  11000000 ns/op	 5454538 B/op	   42971 allocs/op
+BenchmarkMSTCompute-8       	     500	   2400000 ns/op
+PASS
+`)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	if strings.Count(stdout, ": ok") != 2 {
+		t.Errorf("want two ok verdicts:\n%s", stdout)
+	}
+}
+
+func TestRegressionFails(t *testing.T) {
+	code, stdout, stderr := compare(t, `
+BenchmarkSimulatorRESCQ-8   	     100	  13000000 ns/op
+BenchmarkMSTCompute-8       	     500	   2000000 ns/op
+`)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(stdout, "REGRESSED") || !strings.Contains(stderr, "regressed beyond 25%") {
+		t.Errorf("missing regression report:\nstdout: %s\nstderr: %s", stdout, stderr)
+	}
+}
+
+func TestMissingBenchmarkFails(t *testing.T) {
+	code, _, stderr := compare(t, "BenchmarkSimulatorRESCQ-8 100 9000000 ns/op\n")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 (BenchmarkMSTCompute missing)", code)
+	}
+	if !strings.Contains(stderr, "BenchmarkMSTCompute") {
+		t.Errorf("stderr should name the missing benchmark: %s", stderr)
+	}
+}
+
+func TestExtraAndLegacyEntriesIgnored(t *testing.T) {
+	code, _, stderr := compare(t, `
+BenchmarkSimulatorRESCQ-8   	     100	  9000000 ns/op
+BenchmarkMSTCompute-8       	     500	  1900000 ns/op
+BenchmarkUnrelated-8        	     1	  99999999999 ns/op
+`)
+	// BenchmarkUnrelated has no baseline; BenchmarkLegacyNote has no
+	// "after" point. Neither may fail the run.
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+}
+
+func TestParseStripsGomaxprocsSuffix(t *testing.T) {
+	got, err := parseBenchOutput(strings.NewReader(
+		"BenchmarkSimulatorRESCQ-16 100 12345 ns/op\nBenchmarkX 1 7 ns/op\n"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["BenchmarkSimulatorRESCQ"] != 12345 {
+		t.Errorf("suffix not stripped: %v", got)
+	}
+	if got["BenchmarkX"] != 7 {
+		t.Errorf("unsuffixed name mishandled: %v", got)
+	}
+}

@@ -8,6 +8,13 @@
 //
 //	rescq-sim -config path/to/config.json
 //	rescq-sim -bench gcm_n13 -scheduler rescq -d 7 -p 1e-4 -runs 5
+//	rescq-sim -bench gcm_n13 -layout linear
+//	rescq-sim -bench gcm_n13 -layout compact -layout-params fraction=0.5,seed=3
+//
+// Schedulers and layouts resolve through the open registries (see -list
+// for the registered names). Layout params that do not fit the flat
+// key=value flag syntax — notably the "custom" layout's JSON spec — go in
+// the JSON config file's "layout_params" object instead.
 package main
 
 import (
@@ -15,10 +22,27 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	rescq "repro"
 	"repro/internal/config"
 )
+
+// parseLayoutParams turns a "k=v,k=v" flag value into a params map.
+func parseLayoutParams(s string) (map[string]string, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := make(map[string]string)
+	for _, pair := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(pair, "=")
+		if !ok || k == "" {
+			return nil, fmt.Errorf("bad -layout-params entry %q (want key=value)", pair)
+		}
+		out[k] = v
+	}
+	return out, nil
+}
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -33,7 +57,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		cfgPath     = fs.String("config", "", "JSON config file (overrides the other flags)")
 		bench       = fs.String("bench", "", "Table 3 benchmark name (see -list)")
 		circuitFile = fs.String("circuit", "", "circuit file in the artifact text format")
-		scheduler   = fs.String("scheduler", "rescq", "greedy | autobraid | rescq")
+		scheduler   = fs.String("scheduler", "rescq", "scheduler registry name (see -list)")
+		layout      = fs.String("layout", "", "lattice layout registry name (default star; see -list)")
+		layoutPs    = fs.String("layout-params", "", "layout params as comma-separated key=value pairs (e.g. fraction=0.5,seed=3)")
 		distance    = fs.Int("d", 7, "surface code distance")
 		physErr     = fs.Float64("p", 1e-4, "physical qubit error rate")
 		k           = fs.Int("k", 25, "RESCQ MST recomputation period (cycles)")
@@ -57,11 +83,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, "%-16s %-9s %4d qubits  %5d Rz  %5d CNOT\n",
 				b.Name, b.Suite, b.Qubits, b.PaperRz, b.PaperCNOT)
 		}
+		fmt.Fprintf(stdout, "\nschedulers: %s\n", strings.Join(rescq.Schedulers(), ", "))
+		fmt.Fprintln(stdout, "layouts:")
+		for _, l := range rescq.LayoutCatalog() {
+			fmt.Fprintf(stdout, "  %-8s %s\n", l.Name, l.Description)
+		}
 		return 0
 	}
 
+	layoutParams, err := parseLayoutParams(*layoutPs)
+	if err != nil {
+		return fail(err)
+	}
 	cfg := config.Config{
 		Benchmark: *bench, CircuitFile: *circuitFile, Scheduler: *scheduler,
+		Layout: *layout, LayoutParams: layoutParams,
 		Distance: *distance, PhysError: *physErr, K: *k, TauMST: *tau,
 		Compression: *compression, NumberOfRuns: *runs, Seed: *seed,
 		Parallel: *parallel,
@@ -78,21 +114,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	opts := rescq.Options{
-		Scheduler:   rescq.SchedulerKind(cfg.Scheduler),
-		Distance:    cfg.Distance,
-		PhysError:   cfg.PhysError,
-		K:           cfg.K,
-		TauMST:      cfg.TauMST,
-		Compression: cfg.Compression,
-		Runs:        cfg.NumberOfRuns,
-		Seed:        cfg.Seed,
-		Parallel:    cfg.Parallel,
+		Scheduler:    rescq.SchedulerKind(cfg.Scheduler),
+		Layout:       cfg.Layout,
+		LayoutParams: cfg.LayoutParams,
+		Distance:     cfg.Distance,
+		PhysError:    cfg.PhysError,
+		K:            cfg.K,
+		TauMST:       cfg.TauMST,
+		Compression:  cfg.Compression,
+		Runs:         cfg.NumberOfRuns,
+		Seed:         cfg.Seed,
+		Parallel:     cfg.Parallel,
 	}
 
-	var (
-		sum rescq.Summary
-		err error
-	)
+	var sum rescq.Summary
 	switch {
 	case cfg.Benchmark != "":
 		sum, err = rescq.Run(cfg.Benchmark, opts)
@@ -107,8 +142,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return fail(err)
 	}
 
-	fmt.Fprintf(stdout, "benchmark=%s scheduler=%s d=%d p=%g k=%d compression=%.0f%% runs=%d\n",
-		sum.Benchmark, sum.Scheduler, cfg.Distance, cfg.PhysError, cfg.K,
+	layoutName := cfg.Layout
+	if layoutName == "" {
+		layoutName = rescq.DefaultLayout
+	}
+	fmt.Fprintf(stdout, "benchmark=%s scheduler=%s layout=%s d=%d p=%g k=%d compression=%.0f%% runs=%d\n",
+		sum.Benchmark, sum.Scheduler, layoutName, cfg.Distance, cfg.PhysError, cfg.K,
 		100*cfg.Compression, len(sum.Runs))
 	for _, r := range sum.Runs {
 		fmt.Fprintf(stdout, "seed=%-4d cycles=%-8d idle=%.3f preps=%-6d injections=%-6d edge_rotations=%d\n",

@@ -28,7 +28,7 @@ func TestRunTinyBenchmark(t *testing.T) {
 		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
 	}
 	text := out.String()
-	if !strings.Contains(text, "benchmark=vqe_n13 scheduler=rescq d=5") {
+	if !strings.Contains(text, "benchmark=vqe_n13 scheduler=rescq layout=star d=5") {
 		t.Errorf("missing header:\n%s", text)
 	}
 	if got := strings.Count(text, "seed="); got != 2 {
@@ -87,4 +87,61 @@ func TestErrorPaths(t *testing.T) {
 
 func jsonStr(s string) string {
 	return `"` + strings.ReplaceAll(s, `\`, `\\`) + `"`
+}
+
+func TestRunLayoutFlag(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-bench", "vqe_n13", "-d", "5", "-runs", "1", "-layout", "linear"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "layout=linear") {
+		t.Errorf("missing layout in header:\n%s", out.String())
+	}
+}
+
+func TestRunLayoutParamsFlag(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-bench", "vqe_n13", "-d", "5", "-runs", "1",
+		"-layout", "compact", "-layout-params", "fraction=0.5,seed=3"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "layout=compact") {
+		t.Errorf("missing layout in header:\n%s", out.String())
+	}
+}
+
+func TestRunUnknownLayoutEnumerates(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-bench", "vqe_n13", "-layout", "moebius"}, &out, &errOut); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	for _, want := range []string{"moebius", "star", "linear", "compact", "custom"} {
+		if !strings.Contains(errOut.String(), want) {
+			t.Errorf("stderr %q should enumerate %q", errOut.String(), want)
+		}
+	}
+}
+
+func TestRunBadLayoutParams(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-bench", "vqe_n13", "-layout-params", "oops"}, &out, &errOut); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(errOut.String(), "key=value") {
+		t.Errorf("stderr %q should explain the key=value syntax", errOut.String())
+	}
+}
+
+func TestListShowsRegistries(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, want := range []string{"schedulers: autobraid, greedy, rescq", "star", "linear", "compact", "custom"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("-list output missing %q", want)
+		}
+	}
 }

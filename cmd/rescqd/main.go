@@ -44,6 +44,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		queue   = fs.Int("queue", 256, "pending-job queue depth")
 		cache   = fs.Int("cache", 1024, "LRU result-cache entries (negative disables)")
 		drain   = fs.Int("drain", 30, "graceful-shutdown drain budget in seconds")
+		layout  = fs.String("layout", "", "default lattice layout for requests that name none (default star; see GET /v1/capabilities)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -55,7 +56,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 
 	cfg := config.Daemon{
 		Addr: *addr, Workers: *workers, QueueDepth: *queue,
-		CacheEntries: *cache, DrainTimeoutSec: *drain,
+		CacheEntries: *cache, DrainTimeoutSec: *drain, Layout: *layout,
 	}.WithDefaults()
 	if *cfgPath != "" {
 		loaded, err := config.LoadDaemon(*cfgPath)

@@ -55,4 +55,18 @@ cx 2 3
 	}
 	fmt.Printf("\nhand-written circuit: mean=%.1f cycles over %d seeds (Rz latencies of run 0: %v)\n",
 		sum.MeanCycles, len(sum.Runs), sum.Runs[0].RzLatencies)
+
+	// 4. Topology sensitivity: the lattice layout is a first-class axis.
+	//    "star" is the paper's grid (and the default), "linear" stretches
+	//    the qubits along one row, "compact" strips the STAR grid down to
+	//    about one ancilla per data qubit. See rescq.LayoutCatalog() for
+	//    descriptions and params; lattice.Register adds new tilings.
+	fmt.Printf("\n%s under rescq on each built-in layout:\n", bench)
+	for _, layout := range []string{"star", "linear", "compact"} {
+		sum, err := rescq.Run(bench, rescq.Options{Layout: layout})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-8s mean=%7.0f cycles  idle=%.2f\n", layout, sum.MeanCycles, sum.MeanIdle)
+	}
 }

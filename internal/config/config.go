@@ -10,6 +10,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
+
+	_ "repro/internal/core" // registers the "rescq" scheduler
+	"repro/internal/lattice"
+	"repro/internal/sched"
 )
 
 // Config is one simulation configuration.
@@ -19,8 +24,14 @@ type Config struct {
 	Benchmark string `json:"benchmark,omitempty"`
 	// CircuitFile points at a circuit in the artifact text format.
 	CircuitFile string `json:"circuit_file,omitempty"`
-	// Scheduler is "greedy", "autobraid" or "rescq" (default).
+	// Scheduler names a registered scheduler: "greedy", "autobraid" or
+	// "rescq" (default), plus anything added via sched.Register.
 	Scheduler string `json:"scheduler,omitempty"`
+	// Layout names a registered lattice layout (default "star").
+	Layout string `json:"layout,omitempty"`
+	// LayoutParams passes layout-specific knobs (e.g. the "compact"
+	// layout's "fraction", or the "custom" layout's JSON "spec").
+	LayoutParams map[string]string `json:"layout_params,omitempty"`
 	// Distance is the surface code distance (default 7).
 	Distance int `json:"distance,omitempty"`
 	// PhysError is the physical error rate (default 1e-4).
@@ -97,10 +108,16 @@ func (c Config) Validate() error {
 	if c.Benchmark != "" && c.CircuitFile != "" {
 		return fmt.Errorf("config: benchmark and circuit_file are mutually exclusive")
 	}
-	switch c.Scheduler {
-	case "greedy", "autobraid", "rescq":
-	default:
-		return fmt.Errorf("config: unknown scheduler %q", c.Scheduler)
+	if !sched.Known(c.Scheduler) {
+		return fmt.Errorf("config: unknown scheduler %q (registered: %s)",
+			c.Scheduler, strings.Join(sched.Names(), ", "))
+	}
+	if !lattice.Known(c.Layout) {
+		return fmt.Errorf("config: unknown layout %q (registered: %s)",
+			c.Layout, strings.Join(lattice.Layouts(), ", "))
+	}
+	if err := lattice.ValidateParams(c.Layout, lattice.Params(c.LayoutParams)); err != nil {
+		return fmt.Errorf("config: %w", err)
 	}
 	if c.Distance < 3 || c.Distance%2 == 0 {
 		return fmt.Errorf("config: distance %d must be odd and >= 3", c.Distance)

@@ -75,3 +75,39 @@ func TestLoadFromFile(t *testing.T) {
 		t.Error("missing file should error")
 	}
 }
+
+func TestReadLayout(t *testing.T) {
+	c, err := Read(strings.NewReader(`{
+		"benchmark": "gcm_n13",
+		"layout": "compact",
+		"layout_params": {"fraction": "0.5", "seed": "3"}
+	}`))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if c.Layout != "compact" || c.LayoutParams["fraction"] != "0.5" || c.LayoutParams["seed"] != "3" {
+		t.Errorf("layout fields not threaded: %+v", c)
+	}
+
+	_, err = Read(strings.NewReader(`{"benchmark": "gcm_n13", "layout": "moebius"}`))
+	if err == nil {
+		t.Fatal("unknown layout accepted")
+	}
+	for _, want := range []string{"moebius", "star", "linear", "compact", "custom"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q should enumerate %q", err, want)
+		}
+	}
+}
+
+func TestUnknownSchedulerEnumeratesRegistry(t *testing.T) {
+	_, err := Read(strings.NewReader(`{"benchmark": "gcm_n13", "scheduler": "magic"}`))
+	if err == nil {
+		t.Fatal("unknown scheduler accepted")
+	}
+	for _, want := range []string{"magic", "greedy", "autobraid", "rescq"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q should enumerate %q", err, want)
+		}
+	}
+}

@@ -5,7 +5,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
+
+	"repro/internal/lattice"
 )
 
 // Daemon configures the rescqd serving daemon (see internal/service). A
@@ -29,6 +32,10 @@ type Daemon struct {
 	// worker pool's CPUs (rescq.Options.Parallel) unless the request says
 	// otherwise (default false: one job, one core, many jobs in flight).
 	ParallelRuns bool `json:"parallel_runs,omitempty"`
+	// Layout is the default lattice layout for requests that do not name
+	// one ("" means the engine default, "star"). Must be a registered
+	// layout name; see GET /v1/capabilities for the live list.
+	Layout string `json:"layout,omitempty"`
 }
 
 // WithDefaults fills unset daemon fields.
@@ -67,6 +74,10 @@ func (d Daemon) Validate() error {
 	}
 	if d.DrainTimeoutSec < 0 {
 		return fmt.Errorf("config: drain_timeout_sec must be non-negative")
+	}
+	if !lattice.Known(d.Layout) {
+		return fmt.Errorf("config: unknown layout %q (registered: %s)",
+			d.Layout, strings.Join(lattice.Layouts(), ", "))
 	}
 	return nil
 }

@@ -71,3 +71,25 @@ func TestReadDaemon(t *testing.T) {
 		t.Fatal("invalid config accepted")
 	}
 }
+
+func TestDaemonLayout(t *testing.T) {
+	d, err := ReadDaemon(strings.NewReader(`{"layout": "linear"}`))
+	if err != nil {
+		t.Fatalf("ReadDaemon: %v", err)
+	}
+	if d.Layout != "linear" {
+		t.Errorf("layout = %q, want linear", d.Layout)
+	}
+	if err := (Daemon{}.WithDefaults()).Validate(); err != nil {
+		t.Errorf("unset layout should validate (engine default): %v", err)
+	}
+	_, err = ReadDaemon(strings.NewReader(`{"layout": "moebius"}`))
+	if err == nil {
+		t.Fatal("unknown layout accepted")
+	}
+	for _, want := range []string{"moebius", "star", "linear", "compact", "custom"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q should enumerate %q", err, want)
+		}
+	}
+}

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"repro/internal/core"
-	"repro/internal/lattice"
 	"repro/internal/metrics"
 	"repro/internal/qbench"
 	"repro/internal/sim"
@@ -54,10 +53,13 @@ func Ablation(o Options) (AblationResult, error) {
 			results[vi] = make([]*sim.Result, o.Runs)
 		}
 		errs := make([]error, len(ablationVariants)*o.Runs)
+		baseGrid, err := o.buildGrid(circ.NumQubits)
+		if err != nil {
+			return res, err
+		}
 		sim.ParallelFor(len(errs), 0, func(u int) {
 			vi, i := u/o.Runs, u%o.Runs
-			g := lattice.NewSTARGrid(circ.NumQubits)
-			results[vi][i], errs[u] = sim.RunSeeded(g, circ, o.simConfig(),
+			results[vi][i], errs[u] = sim.RunSeeded(baseGrid.Clone(), circ, o.simConfig(),
 				o.BaseSeed+int64(i), core.New(ablationVariants[vi].cfg))
 		})
 		for _, err := range errs {

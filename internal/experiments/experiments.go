@@ -10,7 +10,7 @@ import (
 	"math/rand"
 
 	"repro/internal/circuit"
-	"repro/internal/core"
+	_ "repro/internal/core" // registers the "rescq" scheduler
 	"repro/internal/lattice"
 	"repro/internal/qbench"
 	"repro/internal/sched"
@@ -31,6 +31,12 @@ type Options struct {
 	// Quick restricts sweeps to the small benchmarks and one seed so the
 	// whole harness finishes in seconds; used by tests.
 	Quick bool
+	// Layout names the lattice layout to run on ("" means the default
+	// "star", the paper's substrate); LayoutParams passes its knobs. Both
+	// resolve through the lattice layout registry, which makes every
+	// experiment driver topology-parametric.
+	Layout       string
+	LayoutParams map[string]string
 }
 
 func (o Options) withDefaults() Options {
@@ -56,6 +62,12 @@ func (o Options) simConfig() sim.Config {
 	return sim.Config{Distance: o.Distance, PhysError: o.PhysError}
 }
 
+// buildGrid constructs a fresh grid for n qubits under the options' layout
+// via the lattice layout registry.
+func (o Options) buildGrid(n int) (*lattice.Grid, error) {
+	return lattice.Build(o.Layout, n, lattice.Params(o.LayoutParams))
+}
+
 // benchList returns the benchmarks an experiment sweeps: all of Table 3,
 // or the small subset in Quick mode.
 func (o Options) benchList() []string {
@@ -77,19 +89,16 @@ func (o Options) representative() []string {
 // SchedulerNames lists the evaluated schedulers in the paper's order.
 var SchedulerNames = []string{"greedy", "autobraid", "rescq"}
 
-// makeScheduler builds a fresh scheduler instance by name. The rescq name
-// accepts a recomputation period via k (<= 0 means the default 25).
+// makeScheduler builds a fresh scheduler instance through the open
+// scheduler registry. The rescq name accepts a recomputation period via k
+// (<= 0 means the default 25); policies registered by external packages
+// resolve the same way.
 func makeScheduler(name string, k int) (sim.Scheduler, error) {
-	switch name {
-	case "greedy":
-		return sched.NewGreedy(), nil
-	case "autobraid":
-		return sched.NewAutoBraid(), nil
-	case "rescq":
-		return core.New(core.Config{K: k}), nil
-	default:
-		return nil, fmt.Errorf("experiments: unknown scheduler %q", name)
+	s, err := sched.New(name, sched.Params{K: k})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
 	}
+	return s, nil
 }
 
 // runJob names one simulation configuration inside a batch: a benchmark, a
@@ -115,6 +124,7 @@ func runJobs(jobs []runJob) ([]sim.Aggregate, error) {
 	var units []unit
 	results := make([][]*sim.Result, len(jobs))
 	circs := make([]*circuit.Circuit, len(jobs))
+	grids := make([]*lattice.Grid, len(jobs))
 	for j := range jobs {
 		jobs[j].o = jobs[j].o.withDefaults()
 		spec, ok := qbench.ByName(jobs[j].bench)
@@ -122,6 +132,13 @@ func runJobs(jobs []runJob) ([]sim.Aggregate, error) {
 			return nil, fmt.Errorf("experiments: unknown benchmark %q", jobs[j].bench)
 		}
 		circs[j] = spec.Circuit()
+		// One deterministic layout build per configuration; each seeded
+		// run below mutates its own clone.
+		g, err := jobs[j].o.buildGrid(circs[j].NumQubits)
+		if err != nil {
+			return nil, err
+		}
+		grids[j] = g
 		results[j] = make([]*sim.Result, jobs[j].o.Runs)
 		for i := 0; i < jobs[j].o.Runs; i++ {
 			units = append(units, unit{j, i})
@@ -131,7 +148,7 @@ func runJobs(jobs []runJob) ([]sim.Aggregate, error) {
 	sim.ParallelFor(len(units), 0, func(u int) {
 		j, i := units[u].job, units[u].run
 		jb := jobs[j]
-		g := lattice.NewSTARGrid(circs[j].NumQubits)
+		g := grids[j].Clone()
 		if jb.compression > 0 {
 			// The compression layout is part of the architecture, not the
 			// stochastic run: derive its seed from the benchmark so all

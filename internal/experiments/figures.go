@@ -392,7 +392,7 @@ func Figure15() string {
 	var sb strings.Builder
 	sb.WriteString("Figure 15: grids of 8 data qubits at different compressions\n\n")
 	for _, c := range []float64{0, 0.25, 0.5, 0.75, 1.0} {
-		g := lattice.NewSTARGrid(8)
+		g := lattice.MustBuild(lattice.DefaultLayout, 8, nil)
 		g.Compress(c, rand.New(rand.NewSource(15)))
 		fmt.Fprintf(&sb, "%.0f%% compression (%d ancillas, %.2f per data qubit):\n%s\n",
 			100*c, g.NumAncilla(), g.AncillaPerData(), g.Render())

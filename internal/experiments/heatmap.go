@@ -42,7 +42,10 @@ func Heatmap(o Options, benchName string) (HeatmapResult, error) {
 		if err != nil {
 			return res, err
 		}
-		g := lattice.NewSTARGrid(circ.NumQubits)
+		g, err := o.buildGrid(circ.NumQubits)
+		if err != nil {
+			return res, err
+		}
 		r, err := sim.RunSeeded(g, circ, o.simConfig(), o.BaseSeed, s)
 		if err != nil {
 			return res, err

@@ -56,7 +56,7 @@ func TestAllSchedulersCompleteRandomPrograms(t *testing.T) {
 		comp := float64(r.Intn(3)) / 2 // 0, 0.5, 1.0
 		want := len(circuit.NewDAG(c).Gates())
 		for name, make := range mk {
-			g := lattice.NewSTARGrid(c.NumQubits)
+			g := lattice.MustBuild("star", c.NumQubits, nil)
 			g.Compress(comp, rand.New(rand.NewSource(seed+1)))
 			res, err := sim.RunSeeded(g, c, sim.Config{Distance: 7, PhysError: 1e-4}, seed, make())
 			if err != nil {
@@ -93,7 +93,7 @@ func TestSchedulersAgreeOnDeterministicCircuits(t *testing.T) {
 	} {
 		var first int
 		for seed := int64(1); seed <= 4; seed++ {
-			g := lattice.NewSTARGrid(c.NumQubits)
+			g := lattice.MustBuild("star", c.NumQubits, nil)
 			res, err := sim.RunSeeded(g, c, sim.Config{Distance: 7, PhysError: 1e-4}, seed, mk())
 			if err != nil {
 				t.Fatal(err)

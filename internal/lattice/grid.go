@@ -113,6 +113,25 @@ func NewSTARGrid(n int) *Grid {
 	for bc*bc < n {
 		bc++
 	}
+	return newBlockGrid(n, bc)
+}
+
+// NewLinearGrid builds the single-row layout: every data qubit sits on one
+// block row, giving a 3 x (2n+1) tile strip with full ancilla corridors
+// above, below and between the qubits. Routing distance grows linearly with
+// qubit separation, which makes this layout the adversarial design point
+// for topology-sensitivity sweeps.
+func NewLinearGrid(n int) *Grid {
+	if n < 1 {
+		panic("lattice: need at least one qubit")
+	}
+	return newBlockGrid(n, n)
+}
+
+// newBlockGrid lays n data qubits row-major over a block grid bc blocks
+// wide: qubit q sits at tile (2*(q/bc)+1, 2*(q%bc)+1), with ancilla
+// corridors on every even row and column.
+func newBlockGrid(n, bc int) *Grid {
 	br := (n + bc - 1) / bc
 	rows, cols := 2*br+1, 2*bc+1
 	g := &Grid{
@@ -422,6 +441,91 @@ func (g *Grid) compressionValid() bool {
 		}
 	}
 	return true
+}
+
+// NewGridFromTiles builds a grid from ASCII-art rows, one character per
+// tile: 'D' is a data qubit, '.' an ancilla, ' ' a hole. Qubit IDs are
+// assigned row-major over the 'D' tiles. All rows must have equal width.
+// The resulting grid must satisfy CheckInvariants; this is the substrate of
+// the "custom" layout (JSON-described arbitrary tilings).
+func NewGridFromTiles(tiles []string) (*Grid, error) {
+	if len(tiles) == 0 {
+		return nil, fmt.Errorf("lattice: custom grid needs at least one row")
+	}
+	rows, cols := len(tiles), len(tiles[0])
+	if cols == 0 {
+		return nil, fmt.Errorf("lattice: custom grid rows must be non-empty")
+	}
+	g := &Grid{
+		rows:    rows,
+		cols:    cols,
+		kind:    make([]TileKind, rows*cols),
+		qubitAt: make([]int, rows*cols),
+		orient:  make([]Orientation, rows*cols),
+	}
+	for r, row := range tiles {
+		if len(row) != cols {
+			return nil, fmt.Errorf("lattice: custom grid row %d is %d tiles wide, want %d", r, len(row), cols)
+		}
+		for c := 0; c < cols; c++ {
+			i := r*cols + c
+			g.qubitAt[i] = -1
+			switch row[c] {
+			case 'D':
+				g.kind[i] = TileData
+				g.qubitAt[i] = len(g.dataTile)
+				g.dataTile = append(g.dataTile, Coord{r, c})
+			case '.':
+				g.kind[i] = TileAncilla
+			case ' ':
+				g.kind[i] = TileHole
+			default:
+				return nil, fmt.Errorf("lattice: custom grid row %d col %d: unknown tile %q (want 'D', '.' or ' ')", r, c, row[c])
+			}
+		}
+	}
+	if len(g.dataTile) == 0 {
+		return nil, fmt.Errorf("lattice: custom grid has no data tiles")
+	}
+	g.reindexAncillas()
+	if err := g.CheckInvariants(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// Clone returns an independent deep copy of the grid. Layout builders are
+// deterministic but can be expensive (compact re-runs the whole
+// compression search, custom re-parses its spec), so callers build a
+// configuration's grid once and clone it per seeded run — the clone then
+// takes the run's private mutations (compression, orientation toggles).
+func (g *Grid) Clone() *Grid {
+	ng := *g
+	ng.kind = append([]TileKind(nil), g.kind...)
+	ng.qubitAt = append([]int(nil), g.qubitAt...)
+	ng.orient = append([]Orientation(nil), g.orient...)
+	ng.dataTile = append([]Coord(nil), g.dataTile...)
+	ng.ancID = append([]int(nil), g.ancID...)
+	ng.ancTile = append([]Coord(nil), g.ancTile...)
+	return &ng
+}
+
+// CheckInvariants verifies the two structural properties every usable
+// layout must provide: the ancilla network forms one 4-connected component
+// (so any pair of qubits can be routed) and every data qubit has at least
+// one 4-adjacent ancilla tile (so it can inject and route at all).
+func (g *Grid) CheckInvariants() error {
+	if !g.AncillaConnected() {
+		return fmt.Errorf("lattice: ancilla network is not connected")
+	}
+	var buf []Coord
+	for q := range g.dataTile {
+		buf = g.AncillaNeighbors(g.dataTile[q], buf[:0])
+		if len(buf) == 0 {
+			return fmt.Errorf("lattice: data qubit %d at %v has no adjacent ancilla", q, g.dataTile[q])
+		}
+	}
+	return nil
 }
 
 // AncillaPerData returns the current ancilla-to-data-qubit ratio.

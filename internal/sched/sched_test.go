@@ -14,7 +14,7 @@ func cfg() sim.Config { return sim.Config{Distance: 7, PhysError: 1e-4} }
 
 func runOn(t *testing.T, c *circuit.Circuit, s sim.Scheduler, seed int64) *sim.Result {
 	t.Helper()
-	g := lattice.NewSTARGrid(c.NumQubits)
+	g := lattice.MustBuild("star", c.NumQubits, nil)
 	res, err := sim.RunSeeded(g, c, cfg(), seed, s)
 	if err != nil {
 		t.Fatalf("%s on %s: %v", s.Name(), c.Name, err)
@@ -112,7 +112,7 @@ func TestRunsOnCompressedGrid(t *testing.T) {
 	spec, _ := qbench.ByName("vqe_n13")
 	c := spec.Circuit()
 	for _, frac := range []float64{0.5, 1.0} {
-		g := lattice.NewSTARGrid(c.NumQubits)
+		g := lattice.MustBuild("star", c.NumQubits, nil)
 		g.Compress(frac, newRand(11))
 		res, err := sim.RunSeeded(g, c, cfg(), 5, NewGreedy())
 		if err != nil {

@@ -112,6 +112,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
 	mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
+	mux.HandleFunc("GET /v1/capabilities", s.handleCapabilities)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
@@ -324,6 +325,35 @@ func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleBenchmarks(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, rescq.Benchmarks())
+}
+
+// Capabilities is the GET /v1/capabilities payload: every valid value of
+// every sweepable axis, read live from the benchmark suite and the
+// scheduler/layout registries, so sweep clients can discover the space
+// instead of guessing (and get new axes the moment a policy or tiling
+// registers itself).
+type Capabilities struct {
+	Benchmarks  []rescq.BenchmarkInfo `json:"benchmarks"`
+	Schedulers  []string              `json:"schedulers"`
+	Layouts     []rescq.LayoutInfo    `json:"layouts"`
+	Experiments []string              `json:"experiments"`
+	// DefaultLayout is the daemon's configured default for requests that
+	// do not name a layout ("star" unless overridden).
+	DefaultLayout string `json:"default_layout"`
+}
+
+func (s *Server) handleCapabilities(w http.ResponseWriter, r *http.Request) {
+	def := s.cfg.Layout
+	if def == "" {
+		def = rescq.DefaultLayout
+	}
+	writeJSON(w, http.StatusOK, Capabilities{
+		Benchmarks:    rescq.Benchmarks(),
+		Schedulers:    rescq.Schedulers(),
+		Layouts:       rescq.LayoutCatalog(),
+		Experiments:   append([]string(nil), rescq.ExperimentIDs...),
+		DefaultLayout: def,
+	})
 }
 
 type healthBody struct {

@@ -8,13 +8,15 @@
 //	POST /v1/run         submit one simulation (benchmark, circuit text, or
 //	                     a paper experiment id); waits by default, or
 //	                     returns a job id immediately with "async": true
-//	POST /v1/sweep       submit a benchmark x scheduler x parameter grid;
-//	                     streams per-configuration results (SSE or NDJSON)
-//	                     or runs as an async job
+//	POST /v1/sweep       submit a benchmark x scheduler x layout x parameter
+//	                     grid; streams per-configuration results (SSE or
+//	                     NDJSON) or runs as an async job
 //	GET  /v1/jobs        list jobs
 //	GET  /v1/jobs/{id}   job status, progress and (partial) results
 //	DELETE /v1/jobs/{id} cancel a queued or running job
 //	GET  /v1/benchmarks  the Table 3 benchmark suite
+//	GET  /v1/capabilities every valid sweep-axis value: benchmarks plus the
+//	                     live scheduler and layout registries
 //	GET  /healthz        liveness (503 while draining)
 //	GET  /metrics        Prometheus text metrics
 //
@@ -119,6 +121,7 @@ type ConfigResult struct {
 	Index     int            `json:"index"`
 	Benchmark string         `json:"benchmark,omitempty"`
 	Scheduler string         `json:"scheduler,omitempty"`
+	Layout    string         `json:"layout,omitempty"`
 	Options   *rescq.Options `json:"options,omitempty"`
 	Cached    bool           `json:"cached"`
 	Summary   *rescq.Summary `json:"summary,omitempty"`
@@ -483,6 +486,10 @@ func (s *Server) runOne(spec runSpec) ConfigResult {
 	res := ConfigResult{
 		Benchmark: spec.Benchmark,
 		Scheduler: string(spec.Opts.Scheduler),
+		Layout:    spec.Opts.Layout,
+	}
+	if res.Layout == "" {
+		res.Layout = rescq.DefaultLayout // spelled out for sweep clients
 	}
 	if spec.Benchmark == "" && spec.CircuitText != "" {
 		res.Benchmark = spec.Name
@@ -491,7 +498,7 @@ func (s *Server) runOne(spec runSpec) ConfigResult {
 	var key string
 	switch {
 	case spec.Experiment != "":
-		res.Benchmark, res.Scheduler = "", ""
+		res.Benchmark, res.Scheduler, res.Layout = "", "", ""
 		key = fmt.Sprintf("exp:%s:quick=%t", spec.Experiment, spec.Quick)
 	case spec.CircuitText != "":
 		key = rescq.CacheKey("text:"+spec.Name+"\x00"+spec.CircuitText, spec.Opts)

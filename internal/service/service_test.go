@@ -9,6 +9,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"slices"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -837,5 +838,201 @@ func TestEndToEndRealEngine(t *testing.T) {
 	}
 	if snap := s.Stats().Snapshot(); snap.EngineRuns != 1 {
 		t.Fatalf("engine runs = %d, want 1", snap.EngineRuns)
+	}
+}
+
+// TestCapabilitiesEndpoint asserts sweep clients can discover every valid
+// axis value — benchmarks plus the live scheduler and layout registries —
+// instead of guessing.
+func TestCapabilitiesEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, config.Daemon{Layout: "linear"}, &countingRunner{})
+	resp, err := http.Get(ts.URL + "/v1/capabilities")
+	if err != nil {
+		t.Fatalf("GET capabilities: %v", err)
+	}
+	caps := decode[Capabilities](t, resp)
+	if len(caps.Benchmarks) == 0 {
+		t.Error("capabilities list no benchmarks")
+	}
+	for _, want := range []string{"greedy", "autobraid", "rescq"} {
+		if !slices.Contains(caps.Schedulers, want) {
+			t.Errorf("schedulers %v missing %q", caps.Schedulers, want)
+		}
+	}
+	var layoutNames []string
+	for _, l := range caps.Layouts {
+		layoutNames = append(layoutNames, l.Name)
+		if l.Description == "" {
+			t.Errorf("layout %q has no description", l.Name)
+		}
+	}
+	for _, want := range []string{"star", "linear", "compact", "custom"} {
+		if !slices.Contains(layoutNames, want) {
+			t.Errorf("layouts %v missing %q", layoutNames, want)
+		}
+	}
+	if len(caps.Experiments) == 0 {
+		t.Error("capabilities list no experiments")
+	}
+	if caps.DefaultLayout != "linear" {
+		t.Errorf("default layout = %q, want the configured linear", caps.DefaultLayout)
+	}
+}
+
+// TestSweepLayoutAxis sweeps the layout dimension with a fake runner and
+// asserts the expansion order, the per-configuration layout labels, and
+// that distinct layouts produce distinct cache entries.
+func TestSweepLayoutAxis(t *testing.T) {
+	runner := &countingRunner{}
+	_, ts := newTestServer(t, config.Daemon{}, runner)
+	req := SweepRequest{
+		Benchmarks: []string{"gcm_n13"},
+		Schedulers: []string{"rescq"},
+		Layouts:    []string{"star", "compact", "linear"},
+		Runs:       1,
+	}
+	view := decode[JobView](t, postJSON(t, ts.URL+"/v1/sweep", req))
+	if view.State != JobDone {
+		t.Fatalf("sweep state = %s (%s)", view.State, view.Error)
+	}
+	if len(view.Results) != 3 {
+		t.Fatalf("results = %d, want 3", len(view.Results))
+	}
+	for i, wantLayout := range []string{"star", "compact", "linear"} {
+		if view.Results[i].Layout != wantLayout {
+			t.Errorf("result %d layout = %q, want %q", i, view.Results[i].Layout, wantLayout)
+		}
+	}
+	if runner.calls.Load() != 3 {
+		t.Fatalf("engine calls = %d, want 3 (one per layout; distinct cache keys)", runner.calls.Load())
+	}
+
+	// Re-submitting the same grid must hit the cache for every layout.
+	again := decode[JobView](t, postJSON(t, ts.URL+"/v1/sweep", req))
+	if again.State != JobDone || runner.calls.Load() != 3 {
+		t.Fatalf("resweep: state=%s calls=%d, want done/3", again.State, runner.calls.Load())
+	}
+	for _, res := range again.Results {
+		if !res.Cached {
+			t.Fatalf("resweep result %d (layout %s) not cached", res.Index, res.Layout)
+		}
+	}
+
+	// An unknown layout is a 400 whose message enumerates the registry.
+	bad := req
+	bad.Layouts = []string{"moebius"}
+	resp := postJSON(t, ts.URL+"/v1/sweep", bad)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown layout status = %d, want 400", resp.StatusCode)
+	}
+	body := decode[errorBody](t, resp)
+	for _, want := range []string{"moebius", "star", "linear", "compact", "custom"} {
+		if !strings.Contains(body.Error, want) {
+			t.Errorf("error %q should enumerate %q", body.Error, want)
+		}
+	}
+}
+
+// TestSweepLayoutsRealEngine is the acceptance-criteria sweep: the full
+// {star, compact, linear} x {greedy, autobraid, rescq} grid on the real
+// engine, streamed per-configuration over NDJSON.
+func TestSweepLayoutsRealEngine(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real engine sweep in -short mode")
+	}
+	_, ts := newTestServer(t, config.Daemon{}, nil)
+	body, _ := json.Marshal(SweepRequest{
+		Benchmarks: []string{"vqe_n13"},
+		Schedulers: []string{"greedy", "autobraid", "rescq"},
+		Layouts:    []string{"star", "compact", "linear"},
+		Distances:  []int{5},
+		Runs:       1,
+		Stream:     StreamNDJSON,
+	})
+	resp, err := http.Post(ts.URL+"/v1/sweep", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST sweep: %v", err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	type cell struct{ sched, layout string }
+	seen := map[cell]float64{}
+	var lines int
+	var terminal JobView
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		lines++
+		if lines <= 9 {
+			var res ConfigResult
+			if err := json.Unmarshal([]byte(line), &res); err != nil {
+				t.Fatalf("bad config line %q: %v", line, err)
+			}
+			if res.Error != "" {
+				t.Fatalf("configuration %s/%s failed: %s", res.Scheduler, res.Layout, res.Error)
+			}
+			if res.Summary == nil || res.Summary.MeanCycles <= 0 {
+				t.Fatalf("configuration %s/%s has no usable summary", res.Scheduler, res.Layout)
+			}
+			seen[cell{res.Scheduler, res.Layout}] = res.Summary.MeanCycles
+		} else {
+			if err := json.Unmarshal([]byte(line), &terminal); err != nil {
+				t.Fatalf("bad terminal line %q: %v", line, err)
+			}
+		}
+	}
+	if lines != 10 {
+		t.Fatalf("streamed %d lines, want 9 configs + 1 terminal", lines)
+	}
+	if terminal.State != JobDone || terminal.Progress.Done != 9 {
+		t.Fatalf("terminal view = %+v", terminal)
+	}
+	for _, sched := range []string{"greedy", "autobraid", "rescq"} {
+		for _, layout := range []string{"star", "compact", "linear"} {
+			if _, ok := seen[cell{sched, layout}]; !ok {
+				t.Errorf("missing configuration %s/%s", sched, layout)
+			}
+		}
+	}
+}
+
+// TestSweepPerLayoutParams asserts a mixed-layout sweep can parameterize
+// just the layouts that take knobs, and that params naming a layout
+// outside the axis are rejected up front.
+func TestSweepPerLayoutParams(t *testing.T) {
+	runner := &countingRunner{}
+	_, ts := newTestServer(t, config.Daemon{}, runner)
+	req := SweepRequest{
+		Benchmarks:   []string{"gcm_n13"},
+		Schedulers:   []string{"rescq"},
+		Layouts:      []string{"star", "compact"},
+		LayoutParams: map[string]map[string]string{"compact": {"fraction": "0.5", "seed": "3"}},
+		Runs:         1,
+	}
+	view := decode[JobView](t, postJSON(t, ts.URL+"/v1/sweep", req))
+	if view.State != JobDone {
+		t.Fatalf("sweep state = %s (%s)", view.State, view.Error)
+	}
+	if len(view.Results) != 2 {
+		t.Fatalf("results = %d, want 2", len(view.Results))
+	}
+	star, compact := view.Results[0], view.Results[1]
+	if star.Layout != "star" || star.Options.LayoutParams != nil {
+		t.Errorf("star config got params: %+v", star.Options)
+	}
+	if compact.Layout != "compact" || compact.Options.LayoutParams["fraction"] != "0.5" {
+		t.Errorf("compact config missing its params: %+v", compact.Options)
+	}
+
+	bad := req
+	bad.LayoutParams = map[string]map[string]string{"linear": {}}
+	resp := postJSON(t, ts.URL+"/v1/sweep", bad)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("params for un-swept layout: status %d, want 400", resp.StatusCode)
+	}
+	if body := decode[errorBody](t, resp); !strings.Contains(body.Error, "linear") {
+		t.Errorf("error should name the offending layout: %s", body.Error)
 	}
 }

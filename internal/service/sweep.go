@@ -2,6 +2,7 @@ package service
 
 import (
 	"fmt"
+	"slices"
 	"sync"
 
 	rescq "repro"
@@ -13,12 +14,20 @@ import (
 // default for that knob (scheduler axis defaults to all three evaluated
 // schedulers, mirroring the paper's comparative sweeps).
 type SweepRequest struct {
-	Benchmarks   []string  `json:"benchmarks"`
-	Schedulers   []string  `json:"schedulers,omitempty"`
-	Distances    []int     `json:"distances,omitempty"`
-	PhysErrors   []float64 `json:"phys_errors,omitempty"`
-	KValues      []int     `json:"k_values,omitempty"`
-	Compressions []float64 `json:"compressions,omitempty"`
+	Benchmarks []string `json:"benchmarks"`
+	Schedulers []string `json:"schedulers,omitempty"`
+	// Layouts sweeps the lattice topology (an empty axis uses the
+	// daemon's default layout); LayoutParams optionally maps a swept
+	// layout name to that layout's params, e.g.
+	// {"compact": {"fraction": "0.5"}}, so a mixed-layout sweep can
+	// parameterize only the layouts that take knobs. See GET
+	// /v1/capabilities for the registered names and their params.
+	Layouts      []string                     `json:"layouts,omitempty"`
+	LayoutParams map[string]map[string]string `json:"layout_params,omitempty"`
+	Distances    []int                        `json:"distances,omitempty"`
+	PhysErrors   []float64                    `json:"phys_errors,omitempty"`
+	KValues      []int                        `json:"k_values,omitempty"`
+	Compressions []float64                    `json:"compressions,omitempty"`
 	// Runs/Seed/Parallel apply to every configuration.
 	Runs     int   `json:"runs,omitempty"`
 	Seed     int64 `json:"seed,omitempty"`
@@ -78,6 +87,9 @@ func (s *Server) validateRun(req RunRequest) (runSpec, error) {
 		KeepLatencies: req.IncludeLatencies,
 	}
 	spec.Opts.Parallel = spec.Opts.Parallel || s.cfg.ParallelRuns
+	if spec.Opts.Layout == "" {
+		spec.Opts.Layout = s.cfg.Layout
+	}
 	switch {
 	case req.Experiment != "":
 		if !experimentIDs()[req.Experiment] {
@@ -126,12 +138,21 @@ func (s *Server) expandSweep(req SweepRequest) ([]runSpec, error) {
 	if len(schedulers) == 0 {
 		schedulers = []string{string(rescq.Greedy), string(rescq.AutoBraid), string(rescq.RESCQ)}
 	}
+	layouts := req.Layouts
+	if len(layouts) == 0 {
+		layouts = []string{s.cfg.Layout}
+	}
+	for name := range req.LayoutParams {
+		if !slices.Contains(layouts, name) {
+			return nil, fmt.Errorf("service: layout_params for %q, which is not in the layouts axis %v", name, layouts)
+		}
+	}
 	distances := orDefault(req.Distances)
 	physErrors := orDefault(req.PhysErrors)
 	kValues := orDefault(req.KValues)
 	compressions := orDefault(req.Compressions)
 
-	total := len(req.Benchmarks) * len(schedulers) * len(distances) *
+	total := len(req.Benchmarks) * len(schedulers) * len(layouts) * len(distances) *
 		len(physErrors) * len(kValues) * len(compressions)
 	if total > maxSweepConfigs {
 		return nil, fmt.Errorf("service: sweep expands to %d configurations (max %d)", total, maxSweepConfigs)
@@ -140,25 +161,29 @@ func (s *Server) expandSweep(req SweepRequest) ([]runSpec, error) {
 	specs := make([]runSpec, 0, total)
 	for _, bench := range req.Benchmarks {
 		for _, sched := range schedulers {
-			for _, d := range distances {
-				for _, p := range physErrors {
-					for _, k := range kValues {
-						for _, comp := range compressions {
-							opts := rescq.Options{
-								Scheduler:   rescq.SchedulerKind(sched),
-								Distance:    d,
-								PhysError:   p,
-								K:           k,
-								Compression: comp,
-								Runs:        req.Runs,
-								Seed:        req.Seed,
-								Parallel:    req.Parallel || s.cfg.ParallelRuns,
+			for _, layout := range layouts {
+				for _, d := range distances {
+					for _, p := range physErrors {
+						for _, k := range kValues {
+							for _, comp := range compressions {
+								opts := rescq.Options{
+									Scheduler:    rescq.SchedulerKind(sched),
+									Layout:       layout,
+									LayoutParams: req.LayoutParams[layout],
+									Distance:     d,
+									PhysError:    p,
+									K:            k,
+									Compression:  comp,
+									Runs:         req.Runs,
+									Seed:         req.Seed,
+									Parallel:     req.Parallel || s.cfg.ParallelRuns,
+								}
+								if err := opts.Validate(); err != nil {
+									return nil, fmt.Errorf("service: %s/%s layout=%s d=%d p=%g k=%d c=%g: %w",
+										bench, sched, layout, d, p, k, comp, err)
+								}
+								specs = append(specs, runSpec{Benchmark: bench, Opts: opts})
 							}
-							if err := opts.Validate(); err != nil {
-								return nil, fmt.Errorf("service: %s/%s d=%d p=%g k=%d c=%g: %w",
-									bench, sched, d, p, k, comp, err)
-							}
-							specs = append(specs, runSpec{Benchmark: bench, Opts: opts})
 						}
 					}
 				}

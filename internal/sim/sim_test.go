@@ -43,7 +43,7 @@ func (s *scriptSched) OnOpDone(st *State, op *Op, success bool) {
 func testCfg() Config { return Config{Distance: 7, PhysError: 1e-4} }
 
 func TestEmptyCircuitCompletesImmediately(t *testing.T) {
-	g := lattice.NewSTARGrid(2)
+	g := lattice.MustBuild("star", 2, nil)
 	c := circuit.New("empty", 2)
 	c.X(0) // frame-only: DAG is empty
 	res, err := RunSeeded(g, c, testCfg(), 1, &scriptSched{})
@@ -56,7 +56,7 @@ func TestEmptyCircuitCompletesImmediately(t *testing.T) {
 }
 
 func TestCNOTTakesTwoCycles(t *testing.T) {
-	g := lattice.NewSTARGrid(4)
+	g := lattice.MustBuild("star", 4, nil)
 	c := circuit.New("cnot", 4)
 	c.CNOT(0, 1)
 	started := false
@@ -93,7 +93,7 @@ func TestCNOTTakesTwoCycles(t *testing.T) {
 }
 
 func TestCNOTValidationErrors(t *testing.T) {
-	g := lattice.NewSTARGrid(4)
+	g := lattice.MustBuild("star", 4, nil)
 	c := circuit.New("cnot", 4)
 	c.CNOT(0, 1)
 	dag := circuit.NewDAG(c)
@@ -128,7 +128,7 @@ func TestCNOTValidationErrors(t *testing.T) {
 }
 
 func TestEdgeRotationTogglesOrientation(t *testing.T) {
-	g := lattice.NewSTARGrid(4)
+	g := lattice.MustBuild("star", 4, nil)
 	c := circuit.New("h", 4)
 	c.H(0) // just to have a nonempty DAG; we complete it after rotating
 	rotDone := false
@@ -173,7 +173,7 @@ func TestEdgeRotationTogglesOrientation(t *testing.T) {
 }
 
 func TestPrepInjectLifecycle(t *testing.T) {
-	g := lattice.NewSTARGrid(4)
+	g := lattice.MustBuild("star", 4, nil)
 	c := circuit.New("rz", 4)
 	angle := circuit.NewAngle(1, 3) // non-dyadic: RUS never leaves injection
 	c.Rz(0, angle)
@@ -223,7 +223,7 @@ func TestPrepInjectLifecycle(t *testing.T) {
 }
 
 func TestInjectionValidation(t *testing.T) {
-	g := lattice.NewSTARGrid(4)
+	g := lattice.MustBuild("star", 4, nil)
 	c := circuit.New("rz", 4)
 	angle := circuit.NewAngle(1, 3)
 	c.Rz(0, angle)
@@ -281,7 +281,7 @@ func TestInjectionValidation(t *testing.T) {
 }
 
 func TestDiscardAndCancelPrep(t *testing.T) {
-	g := lattice.NewSTARGrid(4)
+	g := lattice.MustBuild("star", 4, nil)
 	c := circuit.New("rz", 4)
 	c.Rz(0, circuit.NewAngle(1, 3))
 	dag := circuit.NewDAG(c)
@@ -322,7 +322,7 @@ func TestDiscardAndCancelPrep(t *testing.T) {
 }
 
 func TestStallDetection(t *testing.T) {
-	g := lattice.NewSTARGrid(2)
+	g := lattice.MustBuild("star", 2, nil)
 	c := circuit.New("stall", 2)
 	c.CNOT(0, 1)
 	cfg := testCfg()
@@ -334,7 +334,7 @@ func TestStallDetection(t *testing.T) {
 }
 
 func TestMaxCyclesAbort(t *testing.T) {
-	g := lattice.NewSTARGrid(2)
+	g := lattice.MustBuild("star", 2, nil)
 	c := circuit.New("slow", 2)
 	c.CNOT(0, 1)
 	cfg := testCfg()
@@ -360,7 +360,7 @@ func TestInjectionFailureRateNearHalf(t *testing.T) {
 	// injections the failure rate must approach 1/2.
 	var started, failed int
 	for seed := int64(0); seed < 40; seed++ {
-		g := lattice.NewSTARGrid(4)
+		g := lattice.MustBuild("star", 4, nil)
 		c := circuit.New("rz", 4)
 		angle := circuit.NewAngle(1, 3)
 		c.Rz(0, angle)
@@ -409,7 +409,7 @@ func TestInjectionFailureRateNearHalf(t *testing.T) {
 }
 
 func TestActivityWindowTracksBusyAncilla(t *testing.T) {
-	g := lattice.NewSTARGrid(4)
+	g := lattice.MustBuild("star", 4, nil)
 	c := circuit.New("busy", 4)
 	c.CNOT(0, 1)
 	cfg := testCfg()
@@ -462,7 +462,7 @@ func TestAggregateResults(t *testing.T) {
 
 func TestDeterministicUnderSameSeed(t *testing.T) {
 	run := func(seed int64) *Result {
-		g := lattice.NewSTARGrid(4)
+		g := lattice.MustBuild("star", 4, nil)
 		c := circuit.New("rz", 4)
 		angle := circuit.NewAngle(1, 3)
 		c.Rz(0, angle)

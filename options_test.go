@@ -1,6 +1,7 @@
 package rescq
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -44,7 +45,7 @@ func TestOptionsWithDefaults(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			if got := tc.in.withDefaults(); got != tc.want {
+			if got := tc.in.withDefaults(); !reflect.DeepEqual(got, tc.want) {
 				t.Errorf("withDefaults() = %+v, want %+v", got, tc.want)
 			}
 		})
@@ -124,10 +125,20 @@ func TestOptionsCanonical(t *testing.T) {
 			in:   Options{Scheduler: Greedy, K: 50, TauMST: 200},
 			want: Options{Scheduler: Greedy, Distance: 7, PhysError: 1e-4, Runs: 3, Seed: 1},
 		},
+		{
+			name: "explicit star layout with no params is the default, cleared",
+			in:   Options{Layout: "star"},
+			want: Options{Scheduler: RESCQ, Distance: 7, PhysError: 1e-4, K: 25, TauMST: 100, Runs: 3, Seed: 1},
+		},
+		{
+			name: "non-default layouts and their params survive",
+			in:   Options{Layout: "compact", LayoutParams: map[string]string{"fraction": "0.5"}},
+			want: Options{Scheduler: RESCQ, Layout: "compact", LayoutParams: map[string]string{"fraction": "0.5"}, Distance: 7, PhysError: 1e-4, K: 25, TauMST: 100, Runs: 3, Seed: 1},
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			if got := tc.in.Canonical(); got != tc.want {
+			if got := tc.in.Canonical(); !reflect.DeepEqual(got, tc.want) {
 				t.Errorf("Canonical() = %+v, want %+v", got, tc.want)
 			}
 		})
@@ -147,6 +158,8 @@ func TestCacheKey(t *testing.T) {
 		// The paper operating point spelled explicitly: the engine treats
 		// K=0/TauMST=0 as 25/100, so the keys must agree.
 		{K: 25, TauMST: 100, Runs: 2, Seed: 7},
+		// The default layout spelled explicitly.
+		{Layout: "star", Runs: 2, Seed: 7},
 	}
 	for i, o := range same {
 		if got := CacheKey("bench:gcm_n13", o); got != key {
@@ -164,6 +177,11 @@ func TestCacheKey(t *testing.T) {
 		"compression": CacheKey("bench:gcm_n13", Options{Compression: 0.5, Runs: 2, Seed: 7}),
 		"runs":        CacheKey("bench:gcm_n13", Options{Runs: 3, Seed: 7}),
 		"seed":        CacheKey("bench:gcm_n13", Options{Runs: 2, Seed: 8}),
+		"layout":      CacheKey("bench:gcm_n13", Options{Layout: "linear", Runs: 2, Seed: 7}),
+		"layout params": CacheKey("bench:gcm_n13",
+			Options{Layout: "compact", LayoutParams: map[string]string{"fraction": "0.5"}, Runs: 2, Seed: 7}),
+		"layout param value": CacheKey("bench:gcm_n13",
+			Options{Layout: "compact", LayoutParams: map[string]string{"fraction": "0.25"}, Runs: 2, Seed: 7}),
 	}
 	seen := map[string]string{key: "base"}
 	for what, k := range different {

@@ -14,6 +14,36 @@
 // circuit in the artifact's text format instead of a named benchmark, and
 // Experiment regenerates a specific paper table or figure as text.
 //
+// # Layouts and the scheduler registry
+//
+// Both evaluation axes are open registries rather than closed enums, so
+// topology- and policy-sensitivity studies plug in new design points
+// without touching this package:
+//
+//   - Lattice layouts (internal/lattice): Options.Layout names a
+//     registered layout, Options.LayoutParams passes its knobs. Built-ins
+//     are "star" (the paper's STAR grid and the default — a layout-unset
+//     run is byte-identical to the pre-registry code), "linear" (a single
+//     block row, the adversarial routing topology), "compact" (the STAR
+//     grid with a deterministic fraction of ancillas removed, i.e. paper
+//     section 5.3 grid compression as a first-class tiling) and "custom"
+//     (an arbitrary tiling from a JSON spec, see the lattice package).
+//     New tilings register via lattice.Register(name, builder) and are
+//     immediately valid Options.Layout values; Layouts and LayoutCatalog
+//     enumerate them.
+//   - Schedulers (internal/sched): Options.Scheduler names a registered
+//     policy. The paper's three are built in ("greedy", "autobraid" from
+//     the sched package itself, "rescq" registered by internal/core); new
+//     policies register via sched.Register(name, constructor) taking
+//     structured sched.Params and are immediately runnable through Run.
+//     Schedulers enumerates them.
+//
+// The chosen layout and its params are part of a result's identity:
+// Options.Canonical folds them into CacheKey (with the default star
+// layout canonicalized to the empty value, so every pre-layout cache key
+// is preserved), and the rescqd daemon sweeps layouts as a first-class
+// grid axis and reports all registered values at GET /v1/capabilities.
+//
 // # Performance
 //
 // The simulator is engineered so the realtime scheduler's classical
@@ -53,6 +83,7 @@ import (
 	"encoding/hex"
 	"fmt"
 	"math/rand"
+	"strings"
 
 	"repro/internal/circuit"
 	"repro/internal/core"
@@ -62,7 +93,10 @@ import (
 	"repro/internal/sim"
 )
 
-// SchedulerKind selects the scheduling policy.
+// SchedulerKind selects the scheduling policy. The value is a name in the
+// open scheduler registry (internal/sched): the three paper schedulers are
+// built in, and new policies become valid values the moment they call
+// sched.Register — no change to this package required.
 type SchedulerKind string
 
 // The three evaluated schedulers.
@@ -80,8 +114,17 @@ const (
 // Options configures a simulation. The JSON field names are the wire
 // format of the rescqd daemon's job requests (see internal/service).
 type Options struct {
-	// Scheduler picks the policy; default RESCQ.
+	// Scheduler picks the policy by registry name; default RESCQ. See
+	// Schedulers() for the registered names.
 	Scheduler SchedulerKind `json:"scheduler,omitempty"`
+	// Layout picks the lattice layout by registry name; default "star",
+	// the paper's STAR grid. See Layouts() for the registered names.
+	Layout string `json:"layout,omitempty"`
+	// LayoutParams passes layout-specific knobs to the builder (e.g. the
+	// "compact" layout's "fraction", or the "custom" layout's JSON
+	// "spec"). The chosen layout and its params are part of a result's
+	// identity and are folded into CacheKey.
+	LayoutParams map[string]string `json:"layout_params,omitempty"`
 	// Distance is the surface code distance d; default 7.
 	Distance int `json:"distance,omitempty"`
 	// PhysError is the physical qubit error rate p; default 1e-4.
@@ -133,6 +176,20 @@ func (o Options) withDefaults() Options {
 func (o Options) Canonical() Options {
 	o = o.withDefaults()
 	o.Parallel = false
+	// The default layout's explicit and implicit spellings share one
+	// canonical form: the zero value, which keeps every pre-layout cache
+	// key (and golden file) stable. An unset layout WITH params first
+	// materializes the default name, so it cannot alias the plain default
+	// key (the params would otherwise be dropped from the hash).
+	if o.Layout == "" {
+		o.Layout = lattice.DefaultLayout
+	}
+	if o.Layout == lattice.DefaultLayout && len(o.LayoutParams) == 0 {
+		o.Layout = ""
+	}
+	if len(o.LayoutParams) == 0 {
+		o.LayoutParams = nil
+	}
 	if o.Scheduler != RESCQ {
 		o.K = 0
 		o.TauMST = 0
@@ -166,16 +223,28 @@ func CacheKey(circuit string, o Options) string {
 	fmt.Fprintf(h, "%d:%s\x00sched=%s d=%d p=%.17g k=%d tau=%d comp=%.17g runs=%d seed=%d",
 		len(circuit), circuit, c.Scheduler, c.Distance, c.PhysError, c.K, c.TauMST,
 		c.Compression, c.Runs, c.Seed)
+	// The layout component is appended only for non-default layouts, so
+	// every key minted before layouts existed (canonical layout == "")
+	// remains byte-identical.
+	if c.Layout != "" {
+		fmt.Fprintf(h, "\x00layout=%s params=%s", c.Layout, lattice.Params(c.LayoutParams).Canonical())
+	}
 	return hex.EncodeToString(h.Sum(nil))
 }
 
 // Validate reports whether the options are usable.
 func (o Options) Validate() error {
 	o = o.withDefaults()
-	switch o.Scheduler {
-	case Greedy, AutoBraid, RESCQ:
-	default:
-		return fmt.Errorf("rescq: unknown scheduler %q", o.Scheduler)
+	if !sched.Known(string(o.Scheduler)) {
+		return fmt.Errorf("rescq: unknown scheduler %q (registered: %s)",
+			o.Scheduler, strings.Join(sched.Names(), ", "))
+	}
+	if !lattice.Known(o.Layout) {
+		return fmt.Errorf("rescq: unknown layout %q (registered: %s)",
+			o.Layout, strings.Join(lattice.Layouts(), ", "))
+	}
+	if err := lattice.ValidateParams(o.Layout, lattice.Params(o.LayoutParams)); err != nil {
+		return fmt.Errorf("rescq: %w", err)
 	}
 	if o.Distance < 3 || o.Distance%2 == 0 {
 		return fmt.Errorf("rescq: distance %d must be odd and >= 3", o.Distance)
@@ -295,8 +364,15 @@ func runCircuit(c *circuit.Circuit, opts Options) (Summary, error) {
 	if opts.Parallel {
 		workers = 0 // GOMAXPROCS
 	}
+	// The layout build is deterministic in (n, params) and can be
+	// expensive (compact's compression search, custom's spec parse), so
+	// build it once and hand each seeded run its own clone to mutate.
+	baseGrid, err := lattice.Build(opts.Layout, c.NumQubits, lattice.Params(opts.LayoutParams))
+	if err != nil {
+		return Summary{}, err
+	}
 	sim.ParallelFor(opts.Runs, workers, func(i int) {
-		g := lattice.NewSTARGrid(c.NumQubits)
+		g := baseGrid.Clone()
 		if opts.Compression > 0 {
 			g.Compress(opts.Compression, rand.New(rand.NewSource(opts.Seed+int64(i)*7919)))
 		}
@@ -336,13 +412,38 @@ func runCircuit(c *circuit.Circuit, opts Options) (Summary, error) {
 }
 
 func newScheduler(opts Options) (sim.Scheduler, error) {
-	switch opts.Scheduler {
-	case Greedy:
-		return sched.NewGreedy(), nil
-	case AutoBraid:
-		return sched.NewAutoBraid(), nil
-	case RESCQ:
-		return core.New(core.Config{K: opts.K, TauMST: opts.TauMST}), nil
+	return sched.New(string(opts.Scheduler), sched.Params{K: opts.K, TauMST: opts.TauMST})
+}
+
+// DefaultLayout is the layout used when Options.Layout is unset: the
+// paper's STAR grid.
+const DefaultLayout = lattice.DefaultLayout
+
+// Schedulers lists the registered scheduler names, sorted. The paper's
+// three ("greedy", "autobraid", "rescq") are always present; policies
+// added via sched.Register appear automatically.
+func Schedulers() []string { return sched.Names() }
+
+// Layouts lists the registered lattice layout names, sorted. The built-ins
+// are "star" (the default), "linear", "compact" and "custom"; layouts
+// added via lattice.Register appear automatically.
+func Layouts() []string { return lattice.Layouts() }
+
+// LayoutInfo describes one registered layout for discovery surfaces (the
+// daemon's capabilities endpoint, the CLIs).
+type LayoutInfo struct {
+	Name        string            `json:"name"`
+	Description string            `json:"description"`
+	Params      map[string]string `json:"params,omitempty"`
+}
+
+// LayoutCatalog returns the registered layouts with their descriptions and
+// documented params, sorted by name.
+func LayoutCatalog() []LayoutInfo {
+	descs := lattice.Describe()
+	out := make([]LayoutInfo, len(descs))
+	for i, d := range descs {
+		out[i] = LayoutInfo{Name: d.Name, Description: d.Description, Params: d.Params}
 	}
-	return nil, fmt.Errorf("rescq: unknown scheduler %q", opts.Scheduler)
+	return out
 }
