@@ -8,23 +8,51 @@
 //	    -benchtime 3x . | bench-compare -baseline BENCH_baseline.json -tolerance 0.25
 //
 // Benchmarks present in the baseline but absent from the input are
-// reported and fail the run (a deleted benchmark must be removed from the
-// baseline deliberately); input benchmarks without a baseline entry are
-// ignored. The default tolerance of 0.25 absorbs shared-runner noise while
-// still catching the step-function regressions that matter.
+// reported with the named ErrMissingBenchmark and fail the run (a deleted
+// benchmark must be removed from the baseline deliberately); input
+// benchmarks without a baseline entry are ignored; a baseline entry whose
+// after.ns_per_op is zero/NaN is tolerated with an ErrNoBaseline warning
+// instead of dividing to NaN, and a NaN/non-positive measurement fails
+// with ErrBadMeasurement instead of silently comparing as "ok". The
+// default tolerance of 0.25 absorbs shared-runner noise while still
+// catching the step-function regressions that matter.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"sort"
 	"strconv"
 	"strings"
 )
+
+// Named comparison errors, so callers (and CI logs) can tell the failure
+// modes apart instead of tripping over a zero-division or a NaN that
+// compares as "ok".
+var (
+	// ErrMissingBenchmark: the baseline pins a benchmark the input never
+	// measured — a deleted benchmark must be removed from the baseline
+	// deliberately, so this fails the run.
+	ErrMissingBenchmark = errors.New("in baseline but not in benchmark output")
+	// ErrNoBaseline: the entry has an "after" point without a usable
+	// (positive, finite) ns_per_op, which would otherwise divide to
+	// +Inf/NaN. Tolerated with a warning: the entry cannot gate anything.
+	ErrNoBaseline = errors.New("baseline after.ns_per_op is not a positive finite number")
+	// ErrBadMeasurement: the input's ns/op is NaN/Inf/non-positive. A NaN
+	// silently passes every "got > limit" comparison, so this fails the
+	// run instead.
+	ErrBadMeasurement = errors.New("measured ns/op is not a positive finite number")
+)
+
+func usable(v float64) bool {
+	return v > 0 && !math.IsNaN(v) && !math.IsInf(v, 0)
+}
 
 // baselineFile mirrors the shape of BENCH_baseline.json.
 type baselineFile struct {
@@ -74,38 +102,81 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return fail(err)
 	}
 
+	lines, warnings, failures := compareBenchmarks(base, current, *tolerance)
+	for _, line := range lines {
+		fmt.Fprintln(stdout, line)
+	}
+	for _, warn := range warnings {
+		fmt.Fprintln(stderr, "bench-compare: warning:", warn)
+	}
+	for _, err := range failures {
+		fmt.Fprintln(stderr, "bench-compare:", err)
+	}
+	if len(failures) > 0 {
+		// Don't blame every failure on performance: missing benchmarks
+		// and unusable measurements are comparison failures, not
+		// regressions.
+		regressed := 0
+		for _, err := range failures {
+			if !errors.Is(err, ErrMissingBenchmark) && !errors.Is(err, ErrBadMeasurement) {
+				regressed++
+			}
+		}
+		switch {
+		case regressed == len(failures):
+			fmt.Fprintf(stderr, "bench-compare: %d benchmark(s) regressed beyond %.0f%%\n", regressed, *tolerance*100)
+		case regressed == 0:
+			fmt.Fprintf(stderr, "bench-compare: %d comparison(s) failed (missing or invalid measurements)\n", len(failures))
+		default:
+			fmt.Fprintf(stderr, "bench-compare: %d benchmark(s) regressed beyond %.0f%%, %d comparison(s) failed\n",
+				regressed, *tolerance*100, len(failures)-regressed)
+		}
+		return 1
+	}
+	return 0
+}
+
+// compareBenchmarks checks every pinned baseline entry against the
+// measured values. It returns the per-benchmark report lines, tolerated
+// anomalies (wrapping ErrNoBaseline) and failures (regressions, plus
+// ErrMissingBenchmark / ErrBadMeasurement wrapped with the benchmark
+// name), keeping the division out of every degenerate case that used to
+// produce a silent NaN or +Inf comparison.
+func compareBenchmarks(base baselineFile, current map[string]float64, tolerance float64) (lines []string, warnings, failures []error) {
 	names := make([]string, 0, len(base.Benchmarks))
 	for name := range base.Benchmarks {
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	regressions := 0
 	for _, name := range names {
 		entry := base.Benchmarks[name]
-		if entry.After == nil || entry.After.NsPerOp <= 0 {
+		if entry.After == nil {
 			continue // informational baseline entries without a pinned after-value
+		}
+		if !usable(entry.After.NsPerOp) {
+			warnings = append(warnings, fmt.Errorf("%s: %w (%g)", name, ErrNoBaseline, entry.After.NsPerOp))
+			continue
 		}
 		got, ok := current[name]
 		if !ok {
-			fmt.Fprintf(stderr, "bench-compare: %s: in baseline but not in benchmark output\n", name)
-			regressions++
+			failures = append(failures, fmt.Errorf("%s: %w", name, ErrMissingBenchmark))
 			continue
 		}
-		limit := entry.After.NsPerOp * (1 + *tolerance)
+		if !usable(got) {
+			failures = append(failures, fmt.Errorf("%s: %w (%g)", name, ErrBadMeasurement, got))
+			continue
+		}
+		limit := entry.After.NsPerOp * (1 + tolerance)
 		ratio := got / entry.After.NsPerOp
 		verdict := "ok"
 		if got > limit {
 			verdict = "REGRESSED"
-			regressions++
+			failures = append(failures, fmt.Errorf("%s: regressed %.2fx vs baseline (limit %.2fx)", name, ratio, 1+tolerance))
 		}
-		fmt.Fprintf(stdout, "bench-compare: %-32s %12.0f ns/op vs baseline %12.0f (%.2fx, limit %.2fx): %s\n",
-			name, got, entry.After.NsPerOp, ratio, 1+*tolerance, verdict)
+		lines = append(lines, fmt.Sprintf("bench-compare: %-32s %12.0f ns/op vs baseline %12.0f (%.2fx, limit %.2fx): %s",
+			name, got, entry.After.NsPerOp, ratio, 1+tolerance, verdict))
 	}
-	if regressions > 0 {
-		fmt.Fprintf(stderr, "bench-compare: %d benchmark(s) regressed beyond %.0f%%\n", regressions, *tolerance*100)
-		return 1
-	}
-	return 0
+	return lines, warnings, failures
 }
 
 // parseBenchOutput extracts "BenchmarkName ... <ns> ns/op" measurements

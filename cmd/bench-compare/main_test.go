@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"errors"
+	"math"
 	"os"
 	"path/filepath"
 	"strings"
@@ -80,6 +82,79 @@ BenchmarkUnrelated-8        	     1	  99999999999 ns/op
 	// "after" point. Neither may fail the run.
 	if code != 0 {
 		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+}
+
+// TestNamedErrorClassification exercises compareBenchmarks directly: each
+// degenerate case maps to its named sentinel instead of a zero-division
+// or a NaN that compares as "ok".
+func TestNamedErrorClassification(t *testing.T) {
+	base := baselineFile{Benchmarks: map[string]baselineEntry{
+		"BenchmarkHealthy":     {After: &baselinePoint{NsPerOp: 1000}},
+		"BenchmarkMissing":     {After: &baselinePoint{NsPerOp: 1000}},
+		"BenchmarkZeroPinned":  {After: &baselinePoint{NsPerOp: 0}},
+		"BenchmarkNaNMeasured": {After: &baselinePoint{NsPerOp: 1000}},
+		"BenchmarkLegacy":      {},
+	}}
+	current := map[string]float64{
+		"BenchmarkHealthy":     1100,
+		"BenchmarkNaNMeasured": math.NaN(),
+	}
+	lines, warnings, failures := compareBenchmarks(base, current, 0.25)
+	if len(lines) != 1 || !strings.Contains(lines[0], "BenchmarkHealthy") || !strings.Contains(lines[0], ": ok") {
+		t.Fatalf("report lines = %q", lines)
+	}
+	if len(warnings) != 1 || !errors.Is(warnings[0], ErrNoBaseline) || !strings.Contains(warnings[0].Error(), "BenchmarkZeroPinned") {
+		t.Fatalf("warnings = %v, want one ErrNoBaseline for BenchmarkZeroPinned", warnings)
+	}
+	if len(failures) != 2 {
+		t.Fatalf("failures = %v, want 2", failures)
+	}
+	var missing, badMeasure bool
+	for _, err := range failures {
+		if errors.Is(err, ErrMissingBenchmark) && strings.Contains(err.Error(), "BenchmarkMissing") {
+			missing = true
+		}
+		if errors.Is(err, ErrBadMeasurement) && strings.Contains(err.Error(), "BenchmarkNaNMeasured") {
+			badMeasure = true
+		}
+	}
+	if !missing || !badMeasure {
+		t.Fatalf("failures = %v, want ErrMissingBenchmark + ErrBadMeasurement", failures)
+	}
+}
+
+// TestNaNMeasurementFails: a NaN ns/op in the input must fail the run (it
+// used to slide through every "got > limit" comparison as ok).
+func TestNaNMeasurementFails(t *testing.T) {
+	code, _, stderr := compare(t, `
+BenchmarkSimulatorRESCQ-8   	     100	  NaN ns/op
+BenchmarkMSTCompute-8       	     500	  1900000 ns/op
+`)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 (NaN measurement must fail)", code)
+	}
+	if !strings.Contains(stderr, "not a positive finite number") {
+		t.Errorf("stderr should carry the named measurement error: %s", stderr)
+	}
+}
+
+// TestZeroBaselineTolerated: a pinned-but-zero baseline point is a
+// warning, not a crash or a divide-to-NaN verdict.
+func TestZeroBaselineTolerated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(path, []byte(`{
+	  "benchmarks": {"BenchmarkZero": {"after": {"ns_per_op": 0}}}
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut bytes.Buffer
+	code := run([]string{"-baseline", path}, strings.NewReader("BenchmarkZero-8 1 100 ns/op\n"), &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0 (zero baseline is tolerated); stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "warning") || !strings.Contains(errOut.String(), "BenchmarkZero") {
+		t.Errorf("stderr should warn about the unusable baseline: %s", errOut.String())
 	}
 }
 

@@ -1,13 +1,16 @@
 // Command rescqd serves the rescq simulation engine over HTTP: a job queue
-// with a bounded worker pool, an LRU result cache, and streaming sweep
-// execution. See internal/service for the endpoint and job-lifecycle
-// documentation, and README.md in this directory for usage examples.
+// with a bounded worker pool, an LRU result cache, streaming sweep
+// execution, and an optional durable job+result store that lets queued
+// jobs and sweep progress survive restarts. See internal/service for the
+// endpoint and job-lifecycle documentation, internal/store for the WAL
+// format, and README.md in this directory for usage examples.
 //
 // Usage:
 //
-//	rescqd                        # listen on :8321, one worker per CPU
+//	rescqd                            # listen on :8321, one worker per CPU
 //	rescqd -addr :9000 -workers 4 -cache 2048
-//	rescqd -config daemon.json    # JSON config (see internal/config.Daemon)
+//	rescqd -store-dir /var/lib/rescqd # durable: jobs + results survive restarts
+//	rescqd -config daemon.json        # JSON config (see internal/config.Daemon)
 package main
 
 import (
@@ -38,13 +41,15 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 	fs := flag.NewFlagSet("rescqd", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		cfgPath = fs.String("config", "", "JSON daemon config file (overrides the other flags)")
-		addr    = fs.String("addr", ":8321", "listen address")
-		workers = fs.Int("workers", 0, "worker pool size (0 = one per CPU)")
-		queue   = fs.Int("queue", 256, "pending-job queue depth")
-		cache   = fs.Int("cache", 1024, "LRU result-cache entries (negative disables)")
-		drain   = fs.Int("drain", 30, "graceful-shutdown drain budget in seconds")
-		layout  = fs.String("layout", "", "default lattice layout for requests that name none (default star; see GET /v1/capabilities)")
+		cfgPath  = fs.String("config", "", "JSON daemon config file (overrides the other flags)")
+		addr     = fs.String("addr", ":8321", "listen address")
+		workers  = fs.Int("workers", 0, "worker pool size (0 = one per CPU)")
+		queue    = fs.Int("queue", 256, "pending-job queue depth")
+		cache    = fs.Int("cache", 1024, "LRU result-cache entries (negative disables)")
+		drain    = fs.Int("drain", 30, "graceful-shutdown drain budget in seconds")
+		layout   = fs.String("layout", "", "default lattice layout for requests that name none (default star; see GET /v1/capabilities)")
+		storeDir = fs.String("store-dir", "", "durable job+result store directory (WAL); empty disables persistence")
+		maxDepth = fs.Int("max-queue-depth", 0, "admission-control bound on unfinished run configurations; beyond it submissions get 429 (0 = default 4096, negative disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -57,6 +62,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 	cfg := config.Daemon{
 		Addr: *addr, Workers: *workers, QueueDepth: *queue,
 		CacheEntries: *cache, DrainTimeoutSec: *drain, Layout: *layout,
+		StoreDir: *storeDir, MaxQueueDepth: *maxDepth,
 	}.WithDefaults()
 	if *cfgPath != "" {
 		loaded, err := config.LoadDaemon(*cfgPath)
@@ -72,6 +78,21 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 	}
 
 	svc := service.New(cfg, nil)
+	if cfg.StoreDir != "" {
+		// Replay the WAL before the worker pool starts: finished jobs come
+		// back as history, the result cache is warm, and interrupted jobs
+		// are already queued when the first worker wakes.
+		rs, err := svc.AttachStore(cfg.StoreDir)
+		if err != nil {
+			fmt.Fprintln(stderr, "rescqd:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "rescqd: store %s replayed %d jobs / %d results (%d cache entries re-seeded, %d interrupted jobs re-enqueued)\n",
+			cfg.StoreDir, rs.Jobs, rs.Results, rs.Reseeded, rs.Reenqueued)
+		if rs.Dropped > 0 {
+			fmt.Fprintf(stderr, "rescqd: %d interrupted jobs could not be re-enqueued (queue full); they remain resumable on disk\n", rs.Dropped)
+		}
+	}
 	svc.Start()
 	httpSrv := &http.Server{
 		Handler:           svc.Handler(),

@@ -36,6 +36,18 @@ type Daemon struct {
 	// one ("" means the engine default, "star"). Must be a registered
 	// layout name; see GET /v1/capabilities for the live list.
 	Layout string `json:"layout,omitempty"`
+	// StoreDir enables the durability layer: the directory holding the
+	// append-only job + result WAL (see internal/store). Jobs and
+	// per-configuration results are checkpointed as they complete; on
+	// restart the daemon replays the WAL, re-seeds the result cache and
+	// re-enqueues interrupted jobs. Empty disables persistence.
+	StoreDir string `json:"store_dir,omitempty"`
+	// MaxQueueDepth bounds admission control: the total backlog of
+	// admitted-but-unfinished run configurations across all queued and
+	// running jobs (a sweep counts one per configuration). Submissions
+	// beyond it are shed with 429 + Retry-After instead of queueing
+	// unboundedly. 0 means the default 4096; negative disables shedding.
+	MaxQueueDepth int `json:"max_queue_depth,omitempty"`
 }
 
 // WithDefaults fills unset daemon fields.
@@ -51,6 +63,9 @@ func (d Daemon) WithDefaults() Daemon {
 	}
 	if d.DrainTimeoutSec == 0 {
 		d.DrainTimeoutSec = 30
+	}
+	if d.MaxQueueDepth == 0 {
+		d.MaxQueueDepth = 4096
 	}
 	return d
 }

@@ -14,6 +14,12 @@ func TestDaemonDefaults(t *testing.T) {
 	if d.Workers != 0 || d.ParallelRuns {
 		t.Fatalf("workers/parallel defaults = %+v", d)
 	}
+	if d.MaxQueueDepth != 4096 {
+		t.Fatalf("max_queue_depth default = %d, want 4096", d.MaxQueueDepth)
+	}
+	if d.StoreDir != "" {
+		t.Fatalf("store_dir default = %q, want disabled", d.StoreDir)
+	}
 	if d.DrainTimeout() != 30*time.Second {
 		t.Fatalf("drain timeout = %v", d.DrainTimeout())
 	}
@@ -53,6 +59,24 @@ func TestDaemonValidate(t *testing.T) {
 				t.Fatalf("Validate() = %v, want error mentioning %q", err, tc.want)
 			}
 		})
+	}
+}
+
+func TestDaemonStoreAndAdmission(t *testing.T) {
+	d, err := ReadDaemon(strings.NewReader(`{"store_dir":"/tmp/rescqd-wal","max_queue_depth":64}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.StoreDir != "/tmp/rescqd-wal" || d.MaxQueueDepth != 64 {
+		t.Fatalf("parsed durability fields = %+v", d)
+	}
+	// Negative disables admission control and must survive defaulting.
+	d = Daemon{MaxQueueDepth: -1}.WithDefaults()
+	if d.MaxQueueDepth != -1 {
+		t.Fatalf("negative max_queue_depth re-defaulted: %+v", d)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("disabled admission control should validate: %v", err)
 	}
 }
 

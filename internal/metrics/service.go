@@ -20,9 +20,15 @@ type ServiceStats struct {
 	JobsFailed    atomic.Int64 // jobs finished with an error
 	JobsCancelled atomic.Int64 // jobs cancelled before completion
 	JobsRejected  atomic.Int64 // jobs refused because the queue was full or draining
+	JobsShed      atomic.Int64 // submissions shed by admission control (429 + Retry-After)
 	CacheHits     atomic.Int64 // run configurations served from the result cache
 	CacheMisses   atomic.Int64 // run configurations that had to simulate
 	EngineRuns    atomic.Int64 // actual engine invocations (miss + uncacheable)
+	Coalesced     atomic.Int64 // configurations that waited on an identical in-flight run
+
+	ReplayedJobs    atomic.Int64 // jobs reconstructed from the WAL at startup
+	ReplayedResults atomic.Int64 // completed configurations replayed from the WAL
+	StoreErrors     atomic.Int64 // WAL append/close failures (durability degraded)
 
 	mu      sync.Mutex
 	latency *Histogram // completed-job latency in milliseconds
@@ -58,18 +64,23 @@ func (s *ServiceStats) LatencyPercentiles() (p50, p99 int) {
 // Snapshot is a point-in-time copy of every counter, used by the /metrics
 // endpoint and by tests asserting cache behavior.
 type Snapshot struct {
-	JobsQueued    int64 `json:"jobs_queued"`
-	JobsRunning   int64 `json:"jobs_running"`
-	JobsDone      int64 `json:"jobs_done"`
-	JobsFailed    int64 `json:"jobs_failed"`
-	JobsCancelled int64 `json:"jobs_cancelled"`
-	JobsRejected  int64 `json:"jobs_rejected"`
-	CacheHits     int64 `json:"cache_hits"`
-	CacheMisses   int64 `json:"cache_misses"`
-	EngineRuns    int64 `json:"engine_runs"`
-	LatencyCount  int64 `json:"latency_count"`
-	LatencyP50ms  int64 `json:"latency_p50_ms"`
-	LatencyP99ms  int64 `json:"latency_p99_ms"`
+	JobsQueued      int64 `json:"jobs_queued"`
+	JobsRunning     int64 `json:"jobs_running"`
+	JobsDone        int64 `json:"jobs_done"`
+	JobsFailed      int64 `json:"jobs_failed"`
+	JobsCancelled   int64 `json:"jobs_cancelled"`
+	JobsRejected    int64 `json:"jobs_rejected"`
+	JobsShed        int64 `json:"jobs_shed"`
+	CacheHits       int64 `json:"cache_hits"`
+	CacheMisses     int64 `json:"cache_misses"`
+	EngineRuns      int64 `json:"engine_runs"`
+	Coalesced       int64 `json:"coalesced"`
+	ReplayedJobs    int64 `json:"replayed_jobs"`
+	ReplayedResults int64 `json:"replayed_results"`
+	StoreErrors     int64 `json:"store_errors"`
+	LatencyCount    int64 `json:"latency_count"`
+	LatencyP50ms    int64 `json:"latency_p50_ms"`
+	LatencyP99ms    int64 `json:"latency_p99_ms"`
 }
 
 // Snapshot captures the current counter values.
@@ -79,18 +90,23 @@ func (s *ServiceStats) Snapshot() Snapshot {
 	n := s.latency.N()
 	s.mu.Unlock()
 	return Snapshot{
-		JobsQueued:    s.JobsQueued.Load(),
-		JobsRunning:   s.JobsRunning.Load(),
-		JobsDone:      s.JobsDone.Load(),
-		JobsFailed:    s.JobsFailed.Load(),
-		JobsCancelled: s.JobsCancelled.Load(),
-		JobsRejected:  s.JobsRejected.Load(),
-		CacheHits:     s.CacheHits.Load(),
-		CacheMisses:   s.CacheMisses.Load(),
-		EngineRuns:    s.EngineRuns.Load(),
-		LatencyCount:  int64(n),
-		LatencyP50ms:  int64(p50),
-		LatencyP99ms:  int64(p99),
+		JobsQueued:      s.JobsQueued.Load(),
+		JobsRunning:     s.JobsRunning.Load(),
+		JobsDone:        s.JobsDone.Load(),
+		JobsFailed:      s.JobsFailed.Load(),
+		JobsCancelled:   s.JobsCancelled.Load(),
+		JobsRejected:    s.JobsRejected.Load(),
+		JobsShed:        s.JobsShed.Load(),
+		CacheHits:       s.CacheHits.Load(),
+		CacheMisses:     s.CacheMisses.Load(),
+		EngineRuns:      s.EngineRuns.Load(),
+		Coalesced:       s.Coalesced.Load(),
+		ReplayedJobs:    s.ReplayedJobs.Load(),
+		ReplayedResults: s.ReplayedResults.Load(),
+		StoreErrors:     s.StoreErrors.Load(),
+		LatencyCount:    int64(n),
+		LatencyP50ms:    int64(p50),
+		LatencyP99ms:    int64(p99),
 	}
 }
 
@@ -112,9 +128,14 @@ func (s Snapshot) RenderProm(prefix string) string {
 	counter("jobs_failed_total", "Jobs finished with an error.", s.JobsFailed)
 	counter("jobs_cancelled_total", "Jobs cancelled before completion.", s.JobsCancelled)
 	counter("jobs_rejected_total", "Jobs refused (queue full or draining).", s.JobsRejected)
+	counter("jobs_shed_total", "Submissions shed by admission control (429).", s.JobsShed)
 	counter("cache_hits_total", "Run configurations served from the result cache.", s.CacheHits)
 	counter("cache_misses_total", "Run configurations that had to simulate.", s.CacheMisses)
 	counter("engine_runs_total", "Engine invocations.", s.EngineRuns)
+	counter("coalesced_total", "Configurations that waited on an identical in-flight run.", s.Coalesced)
+	counter("replayed_jobs_total", "Jobs reconstructed from the WAL at startup.", s.ReplayedJobs)
+	counter("replayed_results_total", "Completed configurations replayed from the WAL.", s.ReplayedResults)
+	counter("store_errors_total", "WAL append/close failures.", s.StoreErrors)
 	counter("job_latency_observations_total", "Completed jobs with recorded latency.", s.LatencyCount)
 	fmt.Fprintf(&sb, "# HELP %s_job_latency_ms Completed-job latency quantiles in milliseconds.\n# TYPE %s_job_latency_ms summary\n", prefix, prefix)
 	fmt.Fprintf(&sb, "%s_job_latency_ms{quantile=\"0.5\"} %d\n", prefix, s.LatencyP50ms)

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"encoding/json"
 	"strings"
 	"sync"
 	"testing"
@@ -61,18 +62,45 @@ func TestSnapshotRenderProm(t *testing.T) {
 	s := NewServiceStats()
 	s.JobsDone.Add(5)
 	s.CacheHits.Add(2)
+	s.JobsShed.Add(3)
+	s.Coalesced.Add(4)
+	s.ReplayedJobs.Add(1)
+	s.ReplayedResults.Add(7)
 	s.ObserveLatency(40 * time.Millisecond)
 	text := s.Snapshot().RenderProm("rescqd")
 	for _, want := range []string{
 		"# TYPE rescqd_jobs_done_total counter",
 		"rescqd_jobs_done_total 5",
 		"rescqd_cache_hits_total 2",
+		"rescqd_jobs_shed_total 3",
+		"rescqd_coalesced_total 4",
+		"rescqd_replayed_jobs_total 1",
+		"rescqd_replayed_results_total 7",
+		"rescqd_store_errors_total 0",
 		"# TYPE rescqd_jobs_running gauge",
 		`rescqd_job_latency_ms{quantile="0.5"} 40`,
 		`rescqd_job_latency_ms{quantile="0.99"} 40`,
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("rendered metrics missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestSnapshotJSONCarriesDurabilityCounters: the JSON twin of the
+// Prometheus rendering exposes the replay/coalesce/shed counters too.
+func TestSnapshotJSONCarriesDurabilityCounters(t *testing.T) {
+	s := NewServiceStats()
+	s.JobsShed.Add(2)
+	s.Coalesced.Add(3)
+	s.ReplayedJobs.Add(1)
+	data, err := json.Marshal(s.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"jobs_shed":2`, `"coalesced":3`, `"replayed_jobs":1`, `"replayed_results":0`, `"store_errors":0`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("snapshot JSON missing %s:\n%s", want, data)
 		}
 	}
 }

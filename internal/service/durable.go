@@ -1,0 +1,289 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	rescq "repro"
+	"repro/internal/store"
+)
+
+// This file wires the durability layer (internal/store) into the server:
+// jobs and per-configuration results are checkpointed to an append-only
+// WAL as they complete, and on startup the daemon replays the WAL —
+// finished jobs become inspectable history, the result cache is re-seeded
+// under the same canonical rescq.CacheKeys, and interrupted jobs are
+// re-enqueued to resume at their first unfinished configuration.
+
+// partialSummary wraps a cache value re-seeded from the WAL: the WAL
+// stores results with their per-gate latency arrays stripped (tens of
+// thousands of ints per run), so a post-restart request that asks for
+// include_latencies must treat the hit as a miss and recompute (which
+// then overwrites the entry with the full value).
+type partialSummary struct{ sum rescq.Summary }
+
+// ReplayStats reports what AttachStore recovered from the WAL.
+type ReplayStats struct {
+	Jobs       int // jobs reconstructed (history + interrupted)
+	Results    int // completed configurations replayed
+	Reseeded   int // cache entries re-seeded from replayed results
+	Reenqueued int // interrupted jobs put back on the queue
+	// Dropped counts interrupted jobs that could not be re-enqueued (the
+	// job queue overflowed during replay); they are left failed in the
+	// registry rather than silently lost, and stay resumable on disk.
+	Dropped int
+}
+
+// AttachStore opens the WAL in dir and replays it: terminal jobs are
+// registered as inspectable history, completed results re-seed the result
+// cache, and interrupted jobs are re-enqueued to resume at the first
+// unfinished configuration. Must be called after New and before Start
+// (the queue exists but no worker is draining it yet), and at most once.
+func (s *Server) AttachStore(dir string) (ReplayStats, error) {
+	if s.store != nil {
+		return ReplayStats{}, errors.New("service: store already attached")
+	}
+	st, err := store.Open(dir, store.Options{RetainJobs: maxFinishedJobs})
+	if err != nil {
+		return ReplayStats{}, err
+	}
+	s.store = st
+
+	var rs ReplayStats
+	maxID := int64(0)
+	for _, rj := range st.Replayed() {
+		// Advance past EVERY replayed id — orphans and undecodable jobs
+		// included — before any skip below: the store index still holds
+		// them, and minting a colliding id would make the store silently
+		// drop the new job's records.
+		if id := parseJobID(rj.Job.ID); id > maxID {
+			maxID = id
+		}
+		// Re-seed the cache from every persisted result, job or orphan.
+		for _, rr := range rj.Results {
+			var res ConfigResult
+			if err := json.Unmarshal(rr.Result, &res); err != nil {
+				continue
+			}
+			rs.Results++
+			s.stats.ReplayedResults.Add(1)
+			if s.cache == nil || rr.Key == "" || res.Error != "" {
+				continue
+			}
+			switch {
+			case res.Report != "":
+				s.cache.put(rr.Key, res.Report)
+				rs.Reseeded++
+			case res.Summary != nil:
+				s.cache.put(rr.Key, partialSummary{sum: *res.Summary})
+				rs.Reseeded++
+			}
+		}
+		if len(rj.Job.Specs) == 0 {
+			continue // orphan results: cache re-seed only, no job to rebuild
+		}
+		var specs []runSpec
+		if err := json.Unmarshal(rj.Job.Specs, &specs); err != nil || len(specs) == 0 {
+			continue
+		}
+		j := s.replayJob(rj, specs)
+		rs.Jobs++
+		s.stats.ReplayedJobs.Add(1)
+		if !rj.Terminal() {
+			if err := s.submit(j); err == nil {
+				rs.Reenqueued++
+			} else {
+				rs.Dropped++
+			}
+		}
+	}
+	// Never mint an id a replayed job already owns.
+	for cur := s.nextID.Load(); cur < maxID && !s.nextID.CompareAndSwap(cur, maxID); cur = s.nextID.Load() {
+	}
+	return rs, nil
+}
+
+// replayJob reconstructs a Job from its WAL records and registers it.
+// Terminal jobs come back closed (pure history); interrupted jobs come
+// back queued with their completed prefix in place, ready to resume.
+func (s *Server) replayJob(rj store.ReplayedJob, specs []runSpec) *Job {
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	j := &Job{
+		ID:        rj.Job.ID,
+		Kind:      rj.Job.Kind,
+		Created:   rj.Job.Created,
+		specs:     specs,
+		fromStore: true,
+		ctx:       ctx,
+		cancel:    cancel,
+		doneCh:    make(chan struct{}),
+		events:    make(chan ConfigResult, len(specs)),
+		state:     JobQueued,
+	}
+	for _, rr := range rj.Results {
+		var res ConfigResult
+		if err := json.Unmarshal(rr.Result, &res); err != nil {
+			break // keep only the decodable contiguous prefix
+		}
+		j.results = append(j.results, res)
+	}
+	if rj.Terminal() {
+		j.state = JobState(rj.State)
+		if rj.Error != "" {
+			j.err = errors.New(rj.Error)
+		}
+		close(j.events)
+		close(j.doneCh)
+		cancel() // history never runs; release the baseCtx child now
+	}
+	s.registerJob(j)
+	if rj.Terminal() {
+		s.retireJob(j.ID) // history counts against the retention bound
+	}
+	return j
+}
+
+// parseJobID extracts the numeric counter from a "job-%06d" id (0 when
+// the id has another shape).
+func parseJobID(id string) int64 {
+	var n int64
+	if _, err := fmt.Sscanf(id, "job-%d", &n); err != nil {
+		return 0
+	}
+	return n
+}
+
+// resumeJob builds a fresh job that continues a terminal one: same specs,
+// the completed prefix of results inherited, execution picking up at the
+// first unfinished configuration (completed configurations are replayed
+// verbatim, so the final result set is byte-identical to an uninterrupted
+// run). The inherited prefix is persisted under the new id so a later
+// crash resumes from the same point.
+func (s *Server) resumeJob(j *Job) *Job {
+	_, _, _, results, _ := j.snapshot()
+	nj := s.buildJob(j.Kind, j.specs)
+	nj.resumedFrom = j.ID
+	nj.results = results
+	s.registerJob(nj) // visible to listings only once fully populated
+	// Checkpoint the job and its inherited prefix here, outside the
+	// server lock — a large prefix means many appends (and possibly a
+	// compaction), which must not stall submissions. submit's own
+	// persistJob call then no-ops record by record. Should submit reject
+	// the job, failFast checkpoints the failure over these records.
+	s.persistJob(nj)
+	return nj
+}
+
+// persistJob checkpoints a newly accepted job. Jobs replayed from the WAL
+// are already on disk (and AppendJob would no-op on them anyway).
+func (s *Server) persistJob(j *Job) {
+	if s.store == nil || j.fromStore {
+		return
+	}
+	specs, err := json.Marshal(j.specs)
+	if err != nil {
+		s.stats.StoreErrors.Add(1)
+		return
+	}
+	if err := s.store.AppendJob(store.JobRecord{
+		ID: j.ID, Kind: j.Kind, Created: j.Created, Specs: specs,
+	}); err != nil {
+		s.stats.StoreErrors.Add(1)
+		return
+	}
+	// A job resumed via /resume inherits completed results the WAL only
+	// knows under the old id; re-checkpoint them under the new one.
+	j.mu.Lock()
+	inherited := append([]ConfigResult(nil), j.results...)
+	j.mu.Unlock()
+	for i := range inherited {
+		s.persistResultLocked(j.ID, j.specs[i], inherited[i])
+	}
+}
+
+// persistResult checkpoints one completed configuration.
+func (s *Server) persistResult(j *Job, spec runSpec, res ConfigResult) {
+	if s.store == nil {
+		return
+	}
+	s.persistResultLocked(j.ID, spec, res)
+}
+
+func (s *Server) persistResultLocked(jobID string, spec runSpec, res ConfigResult) {
+	// The WAL never stores per-gate latency arrays (tens of thousands of
+	// ints per run), even for include_latencies jobs: replay re-seeds the
+	// cache as partialSummary anyway, and the only jobs that can carry
+	// latencies are single-configuration runs, which have no resumable
+	// prefix. stripLatencies copies before trimming, so the in-memory
+	// result handed to the client keeps its arrays.
+	stripLatencies(&res)
+	payload, err := json.Marshal(res)
+	if err != nil {
+		s.stats.StoreErrors.Add(1)
+		return
+	}
+	if err := s.store.AppendResult(store.ResultRecord{
+		JobID: jobID, Index: res.Index, Key: specKey(spec), Result: payload,
+	}); err != nil {
+		s.stats.StoreErrors.Add(1)
+	}
+}
+
+// persistDone checkpoints a job's terminal state.
+func (s *Server) persistDone(j *Job, state JobState, jerr error) {
+	if s.store == nil {
+		return
+	}
+	rec := store.DoneRecord{JobID: j.ID, State: string(state)}
+	if jerr != nil {
+		rec.Error = jerr.Error()
+	}
+	if err := s.store.AppendDone(rec); err != nil {
+		s.stats.StoreErrors.Add(1)
+	}
+}
+
+// closeStore takes the final durability checkpoint (compact + fsync) and
+// closes the WAL; safe to call repeatedly and without a store.
+func (s *Server) closeStore() {
+	if s.store == nil {
+		return
+	}
+	if err := s.store.Close(); err != nil {
+		s.stats.StoreErrors.Add(1)
+	}
+}
+
+// StoreStats reports the WAL's size counters (zero value when no store is
+// attached), for /healthz and /metrics.
+func (s *Server) StoreStats() (store.Stats, bool) {
+	if s.store == nil {
+		return store.Stats{}, false
+	}
+	return s.store.Stats(), true
+}
+
+// SyncStore forces an fsync checkpoint of the WAL (no-op without a store).
+func (s *Server) SyncStore() error {
+	if s.store == nil {
+		return nil
+	}
+	return s.store.Sync()
+}
+
+// resumable decides whether POST /v1/jobs/{id}/resume applies: the job
+// must be terminal and must have unfinished configurations. A failed job
+// whose configurations all ran is not resumable either — the engine is
+// deterministic, so re-running the same specs re-fails identically.
+func resumable(state JobState, done, total int) error {
+	switch state {
+	case JobQueued, JobRunning:
+		return fmt.Errorf("service: job is %s; only finished jobs can be resumed", state)
+	}
+	if done >= total {
+		return fmt.Errorf("service: all %d configurations already ran; nothing to resume", total)
+	}
+	return nil
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"strconv"
 	"time"
 
 	rescq "repro"
@@ -60,6 +61,8 @@ type JobView struct {
 	Progress JobProgress    `json:"progress"`
 	Results  []ConfigResult `json:"results,omitempty"`
 	Error    string         `json:"error,omitempty"`
+	// ResumedFrom names the job this one continued (POST .../resume).
+	ResumedFrom string `json:"resumed_from,omitempty"`
 }
 
 func (s *Server) jobView(j *Job, includeResults bool) JobView {
@@ -83,6 +86,7 @@ func (s *Server) jobView(j *Job, includeResults bool) JobView {
 	if err != nil {
 		v.Error = err.Error()
 	}
+	v.ResumedFrom = j.resumedFrom
 	return v
 }
 
@@ -111,6 +115,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
+	mux.HandleFunc("POST /v1/jobs/{id}/resume", s.handleResumeJob)
 	mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
 	mux.HandleFunc("GET /v1/capabilities", s.handleCapabilities)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -142,6 +147,22 @@ func submitStatus(err error) int {
 	return http.StatusBadRequest
 }
 
+// writeSubmitError renders a failed submission. Admission-control sheds
+// become 429 with a Retry-After hint; queue-full and draining stay 503.
+func writeSubmitError(w http.ResponseWriter, err error) {
+	var ov *OverloadError
+	if errors.As(err, &ov) {
+		secs := int(ov.RetryAfter.Seconds())
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error()})
+		return
+	}
+	writeError(w, submitStatus(err), err)
+}
+
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	var req RunRequest
 	if err := decodeBody(w, r, &req); err != nil {
@@ -155,7 +176,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	j := s.newJob("run", []runSpec{spec})
 	if err := s.submit(j); err != nil {
-		writeError(w, submitStatus(err), err)
+		writeSubmitError(w, err)
 		return
 	}
 	if req.Async {
@@ -166,7 +187,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	case <-j.Done():
 	case <-r.Context().Done():
 		// The client went away; nobody will read the result, so stop the
-		// job at its next configuration boundary.
+		// job — the cancellation reaches the engine's cycle loop.
 		j.Cancel()
 		return
 	}
@@ -201,7 +222,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	j := s.newJob("sweep", specs)
 	if err := s.submit(j); err != nil {
-		writeError(w, submitStatus(err), err)
+		writeSubmitError(w, err)
 		return
 	}
 	switch {
@@ -239,16 +260,19 @@ func (s *Server) streamSSE(w http.ResponseWriter, r *http.Request, j *Job) {
 	w.WriteHeader(http.StatusOK)
 	flusher.Flush()
 
-	emit := func(event string, v any) {
+	emit := func(event string, v any) error {
 		data, err := json.Marshal(v)
 		if err != nil {
-			return
+			return err
 		}
-		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data); err != nil {
+			return err // client went away mid-write
+		}
 		flusher.Flush()
+		return nil
 	}
 	s.streamEvents(r, j,
-		func(res ConfigResult) { emit("config", res) },
+		func(res ConfigResult) error { return emit("config", res) },
 		func() { emit("done", s.jobView(j, false)) })
 }
 
@@ -264,17 +288,30 @@ func (s *Server) streamNDJSON(w http.ResponseWriter, r *http.Request, j *Job) {
 	h.Set("Content-Type", "application/x-ndjson")
 	h.Set("X-Job-ID", j.ID)
 	w.WriteHeader(http.StatusOK)
+	flusher.Flush() // headers reach the client before the first configuration lands
 	enc := json.NewEncoder(w)
 	enc.SetEscapeHTML(false)
 	s.streamEvents(r, j,
-		func(res ConfigResult) { enc.Encode(res); flusher.Flush() },
-		func() { enc.Encode(s.jobView(j, false)); flusher.Flush() })
+		func(res ConfigResult) error {
+			if err := enc.Encode(res); err != nil {
+				return err // client went away mid-write
+			}
+			flusher.Flush()
+			return nil
+		},
+		func() {
+			if enc.Encode(s.jobView(j, false)) == nil {
+				flusher.Flush()
+			}
+		})
 }
 
 // streamEvents drives a streaming response: per-configuration callbacks in
-// completion order, then the terminal callback. A client disconnect cancels
-// the job.
-func (s *Server) streamEvents(r *http.Request, j *Job, onConfig func(ConfigResult), onDone func()) {
+// completion order, then the terminal callback. A client disconnect —
+// whether surfaced by the request context or by a failed write — cancels
+// the job and ends the stream, so neither this goroutine nor the job keeps
+// burning engine time for a reader that is gone.
+func (s *Server) streamEvents(r *http.Request, j *Job, onConfig func(ConfigResult) error, onDone func()) {
 	for {
 		select {
 		case res, ok := <-j.events:
@@ -282,7 +319,13 @@ func (s *Server) streamEvents(r *http.Request, j *Job, onConfig func(ConfigResul
 				onDone()
 				return
 			}
-			onConfig(res)
+			if err := onConfig(res); err != nil {
+				// The write failed: the connection is dead even if the
+				// request context has not fired yet. Stop the job rather
+				// than streaming the rest of the sweep to nobody.
+				j.Cancel()
+				return
+			}
 		case <-r.Context().Done():
 			// The worker's sends are buffered to len(specs), so abandoning
 			// the channel cannot block it; stop the job and return now
@@ -323,6 +366,49 @@ func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.jobView(j, false))
 }
 
+// handleResumeJob continues a finished-but-incomplete job (cancelled,
+// failed, or interrupted by a crash and replayed from the WAL) as a fresh
+// job: the completed prefix of results is inherited verbatim and execution
+// picks up at the first unfinished configuration. Responds 202 with the
+// new job's view; 409 when the job is still queued/running or already
+// complete.
+func (s *Server) handleResumeJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("service: unknown job %q", r.PathValue("id")))
+		return
+	}
+	state, _, _, results, _ := j.snapshot()
+	if err := resumable(state, len(results), len(j.specs)); err != nil {
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	// Claim the resume slot under the job lock: concurrent resumes of one
+	// job must not both enqueue the remaining work. Terminal states never
+	// regress, so the resumable check above stays valid once claimed.
+	j.mu.Lock()
+	if prev := j.resumedTo; prev != "" {
+		j.mu.Unlock()
+		writeError(w, http.StatusConflict,
+			fmt.Errorf("service: job already resumed as %s", prev))
+		return
+	}
+	j.resumedTo = "(resuming)"
+	j.mu.Unlock()
+	nj := s.resumeJob(j)
+	if err := s.submit(nj); err != nil {
+		j.mu.Lock()
+		j.resumedTo = "" // release the claim; the resume never started
+		j.mu.Unlock()
+		writeSubmitError(w, err)
+		return
+	}
+	j.mu.Lock()
+	j.resumedTo = nj.ID
+	j.mu.Unlock()
+	writeJSON(w, http.StatusAccepted, s.jobView(nj, false))
+}
+
 func (s *Server) handleBenchmarks(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, rescq.Benchmarks())
 }
@@ -356,21 +442,52 @@ func (s *Server) handleCapabilities(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// storeHealth is the /healthz durability section (present only when a
+// store is attached): the WAL's size and the replay/coalesce/shed counters
+// in JSON form, mirroring their Prometheus twins on /metrics.
+type storeHealth struct {
+	Jobs            int   `json:"jobs"`
+	Records         int   `json:"records"`
+	Bytes           int64 `json:"bytes"`
+	Compactions     int64 `json:"compactions"`
+	ReplayedJobs    int64 `json:"replayed_jobs"`
+	ReplayedResults int64 `json:"replayed_results"`
+}
+
 type healthBody struct {
-	Status    string  `json:"status"`
-	UptimeSec float64 `json:"uptime_sec"`
-	Draining  bool    `json:"draining"`
-	Workers   int     `json:"workers"`
-	Queued    int     `json:"queued"`
+	Status         string       `json:"status"`
+	UptimeSec      float64      `json:"uptime_sec"`
+	Draining       bool         `json:"draining"`
+	Workers        int          `json:"workers"`
+	Queued         int          `json:"queued"`
+	PendingConfigs int64        `json:"pending_configs"`
+	MaxQueueDepth  int          `json:"max_queue_depth,omitempty"`
+	CoalescedTotal int64        `json:"coalesced_total"`
+	ShedTotal      int64        `json:"shed_total"`
+	Store          *storeHealth `json:"store,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	body := healthBody{
-		Status:    "ok",
-		UptimeSec: time.Since(s.startTime).Seconds(),
-		Draining:  s.Draining(),
-		Workers:   s.workers,
-		Queued:    len(s.queue),
+		Status:         "ok",
+		UptimeSec:      time.Since(s.startTime).Seconds(),
+		Draining:       s.Draining(),
+		Workers:        s.workers,
+		Queued:         len(s.queue),
+		PendingConfigs: s.pending.Load(),
+		MaxQueueDepth:  s.cfg.MaxQueueDepth,
+		CoalescedTotal: s.stats.Coalesced.Load(),
+		ShedTotal:      s.stats.JobsShed.Load(),
+	}
+	if st, ok := s.StoreStats(); ok {
+		body.Store = &storeHealth{
+			Jobs:            st.Jobs,
+			Records:         st.Records,
+			Bytes:           st.Bytes,
+			Compactions:     st.Compactions,
+			ReplayedJobs:    s.stats.ReplayedJobs.Load(),
+			ReplayedResults: s.stats.ReplayedResults.Load(),
+		}
 	}
 	status := http.StatusOK
 	if body.Draining {
@@ -391,6 +508,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# HELP rescqd_cache_entries Result-cache entries resident.\n# TYPE rescqd_cache_entries gauge\nrescqd_cache_entries %d\n", entries)
 	fmt.Fprintf(w, "# HELP rescqd_cache_capacity Result-cache entry budget.\n# TYPE rescqd_cache_capacity gauge\nrescqd_cache_capacity %d\n", capacity)
 	fmt.Fprintf(w, "# HELP rescqd_queue_pending Jobs waiting in the queue.\n# TYPE rescqd_queue_pending gauge\nrescqd_queue_pending %d\n", len(s.queue))
+	fmt.Fprintf(w, "# HELP rescqd_pending_configs Run configurations admitted but not yet finished (admission-control backlog).\n# TYPE rescqd_pending_configs gauge\nrescqd_pending_configs %d\n", s.pending.Load())
+	if st, ok := s.StoreStats(); ok {
+		fmt.Fprintf(w, "# HELP rescqd_store_jobs Jobs in the durable store index.\n# TYPE rescqd_store_jobs gauge\nrescqd_store_jobs %d\n", st.Jobs)
+		fmt.Fprintf(w, "# HELP rescqd_store_records Records in the WAL file.\n# TYPE rescqd_store_records gauge\nrescqd_store_records %d\n", st.Records)
+		fmt.Fprintf(w, "# HELP rescqd_store_bytes WAL file size in bytes.\n# TYPE rescqd_store_bytes gauge\nrescqd_store_bytes %d\n", st.Bytes)
+		fmt.Fprintf(w, "# HELP rescqd_store_compactions_total WAL compactions performed.\n# TYPE rescqd_store_compactions_total counter\nrescqd_store_compactions_total %d\n", st.Compactions)
+	}
 	fmt.Fprintf(w, "# HELP rescqd_uptime_seconds Daemon uptime.\n# TYPE rescqd_uptime_seconds gauge\nrescqd_uptime_seconds %.0f\n", time.Since(s.startTime).Seconds())
 }
 

@@ -11,9 +11,13 @@
 //	POST /v1/sweep       submit a benchmark x scheduler x layout x parameter
 //	                     grid; streams per-configuration results (SSE or
 //	                     NDJSON) or runs as an async job
-//	GET  /v1/jobs        list jobs
+//	GET  /v1/jobs        list jobs, including history replayed from the
+//	                     durable store across restarts
 //	GET  /v1/jobs/{id}   job status, progress and (partial) results
 //	DELETE /v1/jobs/{id} cancel a queued or running job
+//	POST /v1/jobs/{id}/resume
+//	                     continue a cancelled/failed/interrupted job from
+//	                     its first unfinished configuration
 //	GET  /v1/benchmarks  the Table 3 benchmark suite
 //	GET  /v1/capabilities every valid sweep-axis value: benchmarks plus the
 //	                     live scheduler and layout registries
@@ -23,19 +27,38 @@
 // # Job lifecycle
 //
 // A submission is validated synchronously (malformed grids and options are
-// rejected with 400 before anything is enqueued), expanded into one or more
-// run configurations, and enqueued as a job on a bounded queue; a full
-// queue rejects with 503. A bounded worker pool — built on sim.ParallelFor,
-// one long-lived worker per slot — drains the queue. Jobs move through
-// queued -> running -> done | failed | cancelled. Sweep configurations
-// execute in submission order with per-configuration progress; cancellation
-// (client disconnect on a waiting/streaming request, or DELETE) takes
-// effect at the next configuration boundary — an individual engine run is
-// never interrupted. On shutdown the daemon stops accepting work, lets the
-// workers drain every accepted job, and only cancels in-flight jobs if the
-// drain budget expires. Terminal jobs stay inspectable via GET /v1/jobs up
-// to a retention bound (the most recent 1024); older ones are evicted so a
-// long-running daemon's memory stays flat.
+// rejected with 400 before anything is enqueued), expanded into one or
+// more run configurations — deduplicated by canonical cache key, so a
+// sweep never computes identical work twice — and admitted against two
+// bounds: the configuration backlog (Daemon.MaxQueueDepth; beyond it the
+// submission is shed with 429 + Retry-After) and the job queue itself (a
+// full queue rejects with 503). A bounded worker pool — built on
+// sim.ParallelFor, one long-lived worker per slot — drains the queue.
+// Jobs move through queued -> running -> done | failed | cancelled. Sweep
+// configurations execute in submission order with per-configuration
+// progress; cancellation (client disconnect on a waiting/streaming
+// request, a failed stream write, or DELETE) propagates through the job
+// context into the engine's per-cycle loop, so even a long configuration
+// aborts promptly mid-run. On shutdown the daemon stops accepting work,
+// lets the workers drain every accepted job, and only cancels in-flight
+// jobs if the drain budget expires. Terminal jobs stay inspectable via
+// GET /v1/jobs up to a retention bound (the most recent 1024); older ones
+// are evicted so a long-running daemon's memory stays flat.
+//
+// # Durability
+//
+// With Daemon.StoreDir set, the daemon checkpoints every accepted job and
+// every completed configuration to an append-only JSON-lines WAL
+// (internal/store), keyed by the same canonical rescq.CacheKey as the
+// result cache. On startup the WAL is replayed: terminal jobs come back
+// as inspectable history, their results re-seed the cache (latency
+// arrays stripped — a post-restart include_latencies request recomputes),
+// and interrupted jobs are re-enqueued to resume at their first
+// unfinished configuration, yielding a completed result set
+// byte-identical to an uninterrupted run. POST /v1/jobs/{id}/resume
+// applies the same continuation to cancelled/failed jobs on demand.
+// Shutdown takes a final checkpoint: the WAL is compacted, fsynced and
+// closed.
 //
 // # Cache semantics
 //
@@ -65,29 +88,35 @@ import (
 	"repro/internal/config"
 	"repro/internal/metrics"
 	"repro/internal/sim"
+	"repro/internal/store"
 )
 
 // Runner abstracts the simulation engine behind the daemon. Production use
 // is EngineRunner; tests substitute counting or stalling runners to assert
-// cache hits and drain behavior.
+// cache hits and drain behavior. Implementations must honor ctx promptly:
+// a cancelled job's context reaches the engine's per-cycle loop, so a
+// DELETE or client disconnect aborts a long configuration mid-run rather
+// than at its boundary.
 type Runner interface {
-	Run(benchmark string, opts rescq.Options) (rescq.Summary, error)
-	RunCircuitText(name, text string, opts rescq.Options) (rescq.Summary, error)
-	Experiment(id string, quick bool) (string, error)
+	Run(ctx context.Context, benchmark string, opts rescq.Options) (rescq.Summary, error)
+	RunCircuitText(ctx context.Context, name, text string, opts rescq.Options) (rescq.Summary, error)
+	Experiment(ctx context.Context, id string, quick bool) (string, error)
 }
 
 // EngineRunner is the Runner backed by the real rescq engine.
 type EngineRunner struct{}
 
-func (EngineRunner) Run(benchmark string, opts rescq.Options) (rescq.Summary, error) {
-	return rescq.Run(benchmark, opts)
+func (EngineRunner) Run(ctx context.Context, benchmark string, opts rescq.Options) (rescq.Summary, error) {
+	return rescq.RunContext(ctx, benchmark, opts)
 }
 
-func (EngineRunner) RunCircuitText(name, text string, opts rescq.Options) (rescq.Summary, error) {
-	return rescq.RunCircuitText(name, text, opts)
+func (EngineRunner) RunCircuitText(ctx context.Context, name, text string, opts rescq.Options) (rescq.Summary, error) {
+	return rescq.RunCircuitTextContext(ctx, name, text, opts)
 }
 
-func (EngineRunner) Experiment(id string, quick bool) (string, error) {
+func (EngineRunner) Experiment(ctx context.Context, id string, quick bool) (string, error) {
+	// The experiment drivers are batch paper regeneration and do not
+	// thread a context; cancellation takes effect at the job boundary.
 	return rescq.Experiment(id, quick)
 }
 
@@ -137,6 +166,11 @@ type Job struct {
 
 	specs []runSpec
 
+	// fromStore marks a job reconstructed from the WAL (its job record is
+	// already on disk); resumedFrom names the job this one continues.
+	fromStore   bool
+	resumedFrom string
+
 	ctx    context.Context
 	cancel context.CancelFunc
 	doneCh chan struct{}
@@ -148,6 +182,10 @@ type Job struct {
 	finished time.Time
 	results  []ConfigResult
 	err      error
+	// resumedTo names the job that continued this one; set (and checked)
+	// under mu so concurrent POST .../resume calls cannot both mint a
+	// continuation and duplicate the remaining work.
+	resumedTo string
 }
 
 // State returns the job's current lifecycle phase.
@@ -160,8 +198,9 @@ func (j *Job) State() JobState {
 // Done returns a channel closed when the job reaches a terminal state.
 func (j *Job) Done() <-chan struct{} { return j.doneCh }
 
-// Cancel requests cancellation; it takes effect at the next configuration
-// boundary (queued jobs are dropped when a worker picks them up).
+// Cancel requests cancellation. The job context propagates into the
+// engine's per-cycle loop, so an in-flight configuration aborts promptly;
+// queued jobs are dropped when a worker picks them up.
 func (j *Job) Cancel() { j.cancel() }
 
 // snapshot copies the mutable job fields for rendering.
@@ -176,6 +215,21 @@ var ErrQueueFull = errors.New("service: job queue full")
 
 // ErrDraining is returned for submissions after shutdown began.
 var ErrDraining = errors.New("service: draining, not accepting jobs")
+
+// OverloadError is returned when admission control sheds a submission: the
+// backlog of admitted-but-unfinished run configurations would exceed
+// Daemon.MaxQueueDepth. The HTTP layer maps it to 429 with a Retry-After
+// hint derived from the backlog and observed job latency.
+type OverloadError struct {
+	Pending    int64 // configurations admitted and not yet finished
+	Limit      int   // Daemon.MaxQueueDepth
+	RetryAfter time.Duration
+}
+
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("service: overloaded: %d configurations pending (limit %d), retry in %s",
+		e.Pending, e.Limit, e.RetryAfter)
+}
 
 const jobShards = 8
 
@@ -199,6 +253,11 @@ type Server struct {
 	stats  *metrics.ServiceStats
 	cache  *resultCache // nil when caching is disabled
 	queue  chan *Job
+	store  *store.Store // nil until AttachStore; durability layer
+
+	// pending counts run configurations admitted but not yet finished —
+	// the quantity Daemon.MaxQueueDepth bounds (admission control).
+	pending atomic.Int64
 
 	shards [jobShards]jobShard
 
@@ -237,6 +296,10 @@ func New(cfg config.Daemon, runner Runner) *Server {
 		baseCtx:   ctx,
 		baseStop:  stop,
 		startTime: time.Now(),
+		// Accepting from construction, not from Start: AttachStore
+		// re-enqueues interrupted jobs onto the (buffered) queue before
+		// the worker pool spins up.
+		accepting: true,
 	}
 	if cfg.CacheEntries > 0 {
 		s.cache = newResultCache(cfg.CacheEntries)
@@ -265,7 +328,6 @@ func (s *Server) Start() {
 		return
 	}
 	s.started = true
-	s.accepting = true
 	workers := s.cfg.Workers
 	if workers <= 0 {
 		workers = sim.DefaultWorkers() // one per CPU, like the engine's pool
@@ -279,15 +341,18 @@ func (s *Server) Start() {
 	}()
 }
 
-// Shutdown drains gracefully: stop accepting, close the queue, and wait for
-// the workers to finish every accepted job. If ctx expires first, in-flight
-// jobs are cancelled at their next configuration boundary and Shutdown
-// returns ctx.Err() after the pool exits.
+// Shutdown drains gracefully: stop accepting, close the queue, and wait
+// for the workers to finish every accepted job. If ctx expires first,
+// in-flight jobs are cancelled (the cancellation reaches the engine's
+// cycle loop, so even a long configuration aborts promptly) and Shutdown
+// returns ctx.Err() after the pool exits. Either way, the WAL — when one
+// is attached — takes its final checkpoint: compacted, fsynced, closed.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	if !s.started {
 		s.accepting = false
 		s.mu.Unlock()
+		s.closeStore()
 		return nil
 	}
 	// Close the queue under the same lock submit holds for its send (see
@@ -300,10 +365,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
 	select {
 	case <-s.poolDone:
+		s.closeStore()
 		return nil
 	case <-ctx.Done():
 		s.baseStop() // cancel in-flight jobs, then wait for the pool
 		<-s.poolDone
+		s.closeStore()
 		return ctx.Err()
 	}
 }
@@ -345,10 +412,12 @@ func (s *Server) Jobs() []*Job {
 	return out
 }
 
-// newJob allocates and registers a job over the given validated specs.
-func (s *Server) newJob(kind string, specs []runSpec) *Job {
+// buildJob allocates a job over the given validated specs without
+// registering it, so callers can finish populating it (resume prefixes,
+// provenance) before it becomes visible to listings.
+func (s *Server) buildJob(kind string, specs []runSpec) *Job {
 	ctx, cancel := context.WithCancel(s.baseCtx)
-	j := &Job{
+	return &Job{
 		ID:      fmt.Sprintf("job-%06d", s.nextID.Add(1)),
 		Kind:    kind,
 		Created: time.Now(),
@@ -359,14 +428,25 @@ func (s *Server) newJob(kind string, specs []runSpec) *Job {
 		events:  make(chan ConfigResult, len(specs)),
 		state:   JobQueued,
 	}
+}
+
+// newJob allocates and registers a job over the given validated specs.
+func (s *Server) newJob(kind string, specs []runSpec) *Job {
+	j := s.buildJob(kind, specs)
 	s.registerJob(j)
 	return j
 }
 
-// submit enqueues a job, rejecting when draining or full. The accepting
-// check and the queue send happen under one lock so a concurrent Shutdown
-// (which closes the queue) can never interleave between them.
+// submit enqueues a job, rejecting when draining, shedding when admission
+// control's configuration backlog is exhausted, and rejecting when the job
+// queue itself is full. The accepting check, the admission check and the
+// queue send happen under one lock so a concurrent Shutdown (which closes
+// the queue) or submit can never interleave between them.
 func (s *Server) submit(j *Job) error {
+	// Resumed jobs re-enter with a completed prefix; only the unfinished
+	// configurations count against the backlog. No worker owns the job
+	// before the queue send below, so the unlocked read is safe.
+	remaining := int64(len(j.specs) - len(j.results))
 	s.mu.Lock()
 	if !s.accepting {
 		s.mu.Unlock()
@@ -374,8 +454,28 @@ func (s *Server) submit(j *Job) error {
 		s.failFast(j, ErrDraining)
 		return ErrDraining
 	}
+	// Replayed jobs bypass admission control: the WAL promised them a
+	// resume, and their work was already admitted in a previous life.
+	if limit := s.cfg.MaxQueueDepth; limit > 0 && !j.fromStore {
+		if cur := s.pending.Load(); cur+remaining > int64(limit) {
+			s.mu.Unlock()
+			s.stats.JobsShed.Add(1)
+			err := &OverloadError{Pending: cur, Limit: limit, RetryAfter: s.retryAfter(cur)}
+			s.failFast(j, err)
+			return err
+		}
+	}
+	// Checkpoint the job record BEFORE it becomes visible to a worker: a
+	// fast worker (cache hit) can otherwise persist the first result
+	// before the job record exists, and the store would drop it. Holding
+	// s.mu across this is fine: AppendJob is a single compaction-free
+	// append (resume prefixes are pre-persisted by resumeJob, so the
+	// inherited-result loop no-ops here), and the store never takes
+	// server locks.
+	s.persistJob(j)
 	select {
 	case s.queue <- j:
+		s.pending.Add(remaining)
 		s.mu.Unlock()
 		s.stats.JobsQueued.Add(1)
 		return nil
@@ -387,16 +487,58 @@ func (s *Server) submit(j *Job) error {
 	}
 }
 
+// retryAfter estimates when the backlog will have drained enough to admit
+// new work: pending configurations spread over the worker pool at the
+// observed per-configuration latency, clamped to [1s, 5min]. The latency
+// histogram tracks whole jobs, so the median is scaled down by the mean
+// configurations-per-finished-job — otherwise sweep traffic (one job,
+// hundreds of configurations) would overestimate by that factor.
+func (s *Server) retryAfter(pending int64) time.Duration {
+	p50, _ := s.stats.LatencyPercentiles()
+	workers := s.workers
+	if workers < 1 {
+		workers = 1
+	}
+	configs := s.stats.CacheHits.Load() + s.stats.EngineRuns.Load()
+	jobs := s.stats.JobsDone.Load() + s.stats.JobsFailed.Load() + s.stats.JobsCancelled.Load()
+	perJob := int64(1)
+	if jobs > 0 && configs > jobs {
+		perJob = configs / jobs
+	}
+	est := time.Duration(pending) * time.Duration(p50) * time.Millisecond /
+		time.Duration(workers) / time.Duration(perJob)
+	if est < time.Second {
+		est = time.Second
+	}
+	if est > 5*time.Minute {
+		est = 5 * time.Minute
+	}
+	return est.Round(time.Second)
+}
+
 // failFast marks a never-enqueued job failed so its registry entry is not
-// stuck in "queued" forever.
+// stuck in "queued" forever. If the job record already reached the WAL
+// (queue-full after the pre-send checkpoint), the failure is checkpointed
+// too so replay does not resurrect a rejected job; for shed/draining
+// rejections the store never saw the job and AppendDone no-ops.
 func (s *Server) failFast(j *Job, err error) {
 	j.mu.Lock()
 	j.state = JobFailed
 	j.err = err
 	j.finished = time.Now()
 	j.mu.Unlock()
+	if !j.fromStore {
+		// Checkpoint the failure when the job record already reached the
+		// WAL (queue-full after the pre-send checkpoint) so replay does
+		// not resurrect a rejected job; for shed/draining rejections the
+		// store never saw the job and AppendDone no-ops. Replayed jobs
+		// are the exception: they stay interrupted on disk so the NEXT
+		// restart can retry the re-enqueue.
+		s.persistDone(j, JobFailed, err)
+	}
 	close(j.events)
 	close(j.doneCh)
+	j.cancel() // release the baseCtx child (see execute)
 	s.retireJob(j.ID)
 }
 
@@ -428,35 +570,49 @@ func (s *Server) worker() {
 }
 
 // execute runs every configuration of a job, publishing per-configuration
-// results and progress as it goes.
+// results and progress as it goes. Resumed jobs (a completed prefix
+// replayed from the WAL or inherited via /resume) re-enter at the first
+// unfinished configuration.
 func (s *Server) execute(j *Job) {
 	start := time.Now()
 	j.mu.Lock()
 	j.state = JobRunning
 	j.started = start
+	startIdx := len(j.results)
 	j.mu.Unlock()
 	s.stats.JobsRunning.Add(1)
 	defer s.stats.JobsRunning.Add(-1)
 
 	cancelled := false
-	failures := 0
-	for i, spec := range j.specs {
+	for i := startIdx; i < len(j.specs); i++ {
 		if j.ctx.Err() != nil {
 			cancelled = true
 			break
 		}
-		res := s.runOne(spec)
+		res := s.runOne(j.ctx, j.specs[i])
 		res.Index = i
-		if res.Error != "" {
-			failures++
+		if res.Error != "" && j.ctx.Err() != nil {
+			// The configuration was aborted mid-run by cancellation, not
+			// by a real engine failure: discard the partial result.
+			cancelled = true
+			break
 		}
 		j.mu.Lock()
 		j.results = append(j.results, res)
 		j.mu.Unlock()
+		s.persistResult(j, j.specs[i], res)
 		j.events <- res // buffered to len(specs): never blocks
+		s.pending.Add(-1)
 	}
 
 	j.mu.Lock()
+	failures := 0
+	for i := range j.results {
+		if j.results[i].Error != "" {
+			failures++
+		}
+	}
+	unfinished := len(j.specs) - len(j.results)
 	switch {
 	case cancelled:
 		j.state = JobCancelled
@@ -474,15 +630,44 @@ func (s *Server) execute(j *Job) {
 		s.stats.JobsDone.Add(1)
 	}
 	j.finished = time.Now()
+	state, err := j.state, j.err
 	j.mu.Unlock()
+	s.pending.Add(-int64(unfinished)) // configurations the break left behind
+	s.persistDone(j, state, err)
 	close(j.events)
 	close(j.doneCh)
+	// Release the context child registered on baseCtx; without this every
+	// terminal job would stay in baseCtx's children set forever.
+	j.cancel()
 	s.retireJob(j.ID)
 	s.stats.ObserveLatency(time.Since(start))
 }
 
+// specKey returns the configuration's cache/store identity: the canonical
+// rescq.CacheKey for simulations, an experiment-id key for paper reports.
+// It is the key the result cache, the in-flight coalescing table and the
+// WAL's result records all share.
+func specKey(spec runSpec) string {
+	switch {
+	case spec.Experiment != "":
+		return fmt.Sprintf("exp:%s:quick=%t", spec.Experiment, spec.Quick)
+	case spec.CircuitText != "":
+		return rescq.CacheKey("text:"+spec.Name+"\x00"+spec.CircuitText, spec.Opts)
+	default:
+		return rescq.CacheKey("bench:"+spec.Benchmark, spec.Opts)
+	}
+}
+
+// cacheUsable reports whether a cache hit can serve this spec. Values
+// reseeded from the WAL carry stripped latency arrays (partialSummary); a
+// request that asked to keep them must recompute.
+func cacheUsable(v any, spec runSpec) bool {
+	_, partial := v.(partialSummary)
+	return !(partial && spec.KeepLatencies)
+}
+
 // runOne executes (or serves from cache) a single configuration.
-func (s *Server) runOne(spec runSpec) ConfigResult {
+func (s *Server) runOne(ctx context.Context, spec runSpec) ConfigResult {
 	res := ConfigResult{
 		Benchmark: spec.Benchmark,
 		Scheduler: string(spec.Opts.Scheduler),
@@ -495,19 +680,13 @@ func (s *Server) runOne(spec runSpec) ConfigResult {
 		res.Benchmark = spec.Name
 	}
 
-	var key string
-	switch {
-	case spec.Experiment != "":
+	key := specKey(spec)
+	if spec.Experiment != "" {
 		res.Benchmark, res.Scheduler, res.Layout = "", "", ""
-		key = fmt.Sprintf("exp:%s:quick=%t", spec.Experiment, spec.Quick)
-	case spec.CircuitText != "":
-		key = rescq.CacheKey("text:"+spec.Name+"\x00"+spec.CircuitText, spec.Opts)
-	default:
-		key = rescq.CacheKey("bench:"+spec.Benchmark, spec.Opts)
 	}
 
 	if s.cache != nil {
-		if v, ok := s.cache.get(key); ok {
+		if v, ok := s.cache.get(key); ok && cacheUsable(v, spec) {
 			s.stats.CacheHits.Add(1)
 			res.Cached = true
 			fillResult(&res, spec, v)
@@ -516,15 +695,23 @@ func (s *Server) runOne(spec runSpec) ConfigResult {
 		// Coalesce concurrent identical configurations: followers wait for
 		// the in-flight leader instead of re-running the engine, then are
 		// served from the freshly filled cache.
-		if !s.joinFlight(key) {
-			if v, ok := s.cache.get(key); ok {
+		leader, err := s.joinFlight(ctx, key)
+		switch {
+		case err != nil:
+			// The follower's own job was cancelled while waiting; don't
+			// inherit or compute anything for a reader that is gone.
+			res.Error = err.Error()
+			return res
+		case !leader:
+			s.stats.Coalesced.Add(1)
+			if v, ok := s.cache.get(key); ok && cacheUsable(v, spec) {
 				s.stats.CacheHits.Add(1)
 				res.Cached = true
 				fillResult(&res, spec, v)
 				return res
 			}
 			// The leader failed (or could not cache); compute it ourselves.
-		} else {
+		default:
 			defer s.leaveFlight(key)
 		}
 		s.stats.CacheMisses.Add(1)
@@ -541,11 +728,11 @@ func (s *Server) runOne(spec runSpec) ConfigResult {
 	)
 	switch {
 	case spec.Experiment != "":
-		val, err = s.runner.Experiment(spec.Experiment, spec.Quick)
+		val, err = s.runner.Experiment(ctx, spec.Experiment, spec.Quick)
 	case spec.CircuitText != "":
-		val, err = s.runner.RunCircuitText(spec.Name, spec.CircuitText, spec.Opts)
+		val, err = s.runner.RunCircuitText(ctx, spec.Name, spec.CircuitText, spec.Opts)
 	default:
-		val, err = s.runner.Run(spec.Benchmark, spec.Opts)
+		val, err = s.runner.Run(ctx, spec.Benchmark, spec.Opts)
 	}
 	if err != nil {
 		res.Error = err.Error()
@@ -563,17 +750,22 @@ func (s *Server) runOne(spec runSpec) ConfigResult {
 // and has since finished — the caller should re-check the cache. Followers
 // block for the leader's whole engine run, which is the point: computing
 // the same configuration in parallel would cost the same wall-clock for
-// N× the CPU.
-func (s *Server) joinFlight(key string) (leader bool) {
+// N× the CPU. A follower whose own job is cancelled stops waiting and
+// returns ctx's error instead of pinning its worker on the leader.
+func (s *Server) joinFlight(ctx context.Context, key string) (leader bool, err error) {
 	s.flightMu.Lock()
 	if c, ok := s.inflight[key]; ok {
 		s.flightMu.Unlock()
-		<-c
-		return false
+		select {
+		case <-c:
+			return false, nil
+		case <-ctx.Done():
+			return false, fmt.Errorf("service: abandoned coalesced wait: %w", ctx.Err())
+		}
 	}
 	s.inflight[key] = make(chan struct{})
 	s.flightMu.Unlock()
-	return true
+	return true, nil
 }
 
 func (s *Server) leaveFlight(key string) {
@@ -585,6 +777,9 @@ func (s *Server) leaveFlight(key string) {
 }
 
 func fillResult(res *ConfigResult, spec runSpec, val any) {
+	if p, ok := val.(partialSummary); ok {
+		val = p.sum // WAL-reseeded: already latency-stripped
+	}
 	switch v := val.(type) {
 	case rescq.Summary:
 		opts := spec.Opts.Canonical()

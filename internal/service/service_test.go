@@ -58,17 +58,17 @@ func fakeSummary(bench string, opts rescq.Options) rescq.Summary {
 	}
 }
 
-func (r *countingRunner) Run(bench string, opts rescq.Options) (rescq.Summary, error) {
+func (r *countingRunner) Run(ctx context.Context, bench string, opts rescq.Options) (rescq.Summary, error) {
 	r.note()
 	return fakeSummary(bench, opts), nil
 }
 
-func (r *countingRunner) RunCircuitText(name, text string, opts rescq.Options) (rescq.Summary, error) {
+func (r *countingRunner) RunCircuitText(ctx context.Context, name, text string, opts rescq.Options) (rescq.Summary, error) {
 	r.note()
 	return fakeSummary(name, opts), nil
 }
 
-func (r *countingRunner) Experiment(id string, quick bool) (string, error) {
+func (r *countingRunner) Experiment(ctx context.Context, id string, quick bool) (string, error) {
 	r.note()
 	return fmt.Sprintf("report:%s:quick=%t", id, quick), nil
 }
@@ -559,6 +559,9 @@ func TestInflightCoalescing(t *testing.T) {
 	snap := s.Stats().Snapshot()
 	if snap.CacheHits != 1 || snap.CacheMisses != 1 || snap.EngineRuns != 1 {
 		t.Fatalf("metrics hits=%d misses=%d engine=%d, want 1/1/1", snap.CacheHits, snap.CacheMisses, snap.EngineRuns)
+	}
+	if snap.Coalesced != 1 {
+		t.Fatalf("coalesced = %d, want 1 (the follower waited on the leader)", snap.Coalesced)
 	}
 }
 

@@ -158,7 +158,13 @@ func (s *Server) expandSweep(req SweepRequest) ([]runSpec, error) {
 		return nil, fmt.Errorf("service: sweep expands to %d configurations (max %d)", total, maxSweepConfigs)
 	}
 
+	// Dedupe by canonical cache key: repeated axis values (distances of
+	// [5, 5]), axis values that canonicalize identically (k of 0 and 25),
+	// or layouts whose params collapse to the same key would otherwise
+	// compute identical work twice inside one sweep. First occurrence
+	// wins, preserving benchmark-major order.
 	specs := make([]runSpec, 0, total)
+	seen := make(map[string]bool, total)
 	for _, bench := range req.Benchmarks {
 		for _, sched := range schedulers {
 			for _, layout := range layouts {
@@ -182,7 +188,11 @@ func (s *Server) expandSweep(req SweepRequest) ([]runSpec, error) {
 									return nil, fmt.Errorf("service: %s/%s layout=%s d=%d p=%g k=%d c=%g: %w",
 										bench, sched, layout, d, p, k, comp, err)
 								}
-								specs = append(specs, runSpec{Benchmark: bench, Opts: opts})
+								spec := runSpec{Benchmark: bench, Opts: opts}
+								if key := specKey(spec); !seen[key] {
+									seen[key] = true
+									specs = append(specs, spec)
+								}
 							}
 						}
 					}

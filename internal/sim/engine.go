@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/circuit"
@@ -51,12 +52,35 @@ func (e *Engine) State() *State { return e.st }
 // collected statistics. It fails on scheduler deadlock (no progress for
 // cfg.StallLimit cycles) or when cfg.MaxCycles is exceeded.
 func (e *Engine) Run() (*Result, error) {
+	return e.RunContext(context.Background())
+}
+
+// cancelCheckMask gates how often RunContext polls ctx: every 256 cycles.
+// Polling costs a nil-channel select, but even a mutex-guarded ctx would be
+// noise at this stride, while 256 cycles is a tiny fraction of any real
+// circuit's makespan — cancellation lands promptly mid-run.
+const cancelCheckMask = 255
+
+// RunContext is Run with cooperative cancellation: the per-cycle loop
+// polls ctx every few hundred cycles and aborts with ctx's error, so a
+// cancelled serving request stops a long simulation mid-configuration
+// instead of running it to completion.
+func (e *Engine) RunContext(ctx context.Context) (*Result, error) {
 	st := e.st
 	if err := e.sched.Init(st); err != nil {
 		return nil, fmt.Errorf("sim: scheduler init: %w", err)
 	}
+	done := ctx.Done() // nil for Background: the select below never fires
 	stall := 0
 	for !st.AllDone() {
+		if st.cycle&cancelCheckMask == 0 {
+			select {
+			case <-done:
+				return nil, fmt.Errorf("sim: aborted at cycle %d (%d/%d gates done): %w",
+					st.cycle, st.numDone, st.dag.Len(), ctx.Err())
+			default:
+			}
+		}
 		st.cycle++
 		if st.cycle > st.cfg.MaxCycles {
 			return nil, fmt.Errorf("sim: exceeded max cycles %d (%d/%d gates done)",

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -40,9 +41,16 @@ type Result struct {
 // on grid under sched with one seed. The grid is mutated during simulation
 // (orientations); callers reusing grids across runs should rebuild them.
 func RunSeeded(g *lattice.Grid, c *circuit.Circuit, cfg Config, seed int64, sched Scheduler) (*Result, error) {
+	return RunSeededContext(context.Background(), g, c, cfg, seed, sched)
+}
+
+// RunSeededContext is RunSeeded with cooperative cancellation: the engine
+// polls ctx inside its cycle loop, so cancelling a request aborts a long
+// simulation promptly instead of at the run boundary.
+func RunSeededContext(ctx context.Context, g *lattice.Grid, c *circuit.Circuit, cfg Config, seed int64, sched Scheduler) (*Result, error) {
 	dag := circuit.NewDAG(c)
 	eng := NewEngine(g, dag, cfg, seed, sched)
-	res, err := eng.Run()
+	res, err := eng.RunContext(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("sim: %s on %s (seed %d): %w", sched.Name(), c.Name, seed, err)
 	}

@@ -1,0 +1,11 @@
+//go:build !unix
+
+package store
+
+import "os"
+
+// flockExclusive is a no-op where flock is unavailable: the store still
+// works, but the one-writer-per-directory guard is advisory only (the
+// O_APPEND single-line writes keep concurrent appends from interleaving
+// mid-record).
+func flockExclusive(*os.File) error { return nil }

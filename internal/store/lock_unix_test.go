@@ -1,0 +1,35 @@
+//go:build unix
+
+package store
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestSecondOpenLocked: one live daemon per store dir — a second Open is
+// rejected with ErrLocked while the first holder lives, and admitted the
+// moment it closes (a process death releases the flock in the kernel).
+func TestSecondOpenLocked(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); !errors.Is(err, ErrLocked) {
+		t.Fatalf("second Open = %v, want ErrLocked", err)
+	}
+	appendJob(t, s, "job-000001", "run")
+	if err := s.Compact(); err != nil { // the lock must survive the inode swap
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); !errors.Is(err, ErrLocked) {
+		t.Fatalf("Open after compaction = %v, want ErrLocked (lock lost in rename)", err)
+	}
+	s.Close()
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("Open after close: %v", err)
+	}
+	s2.Close()
+}

@@ -1,0 +1,573 @@
+// Package store implements rescqd's durability layer: an append-only,
+// crash-safe on-disk job + result log (a JSON-lines write-ahead log with
+// compaction) that lets the daemon survive a restart without dropping
+// queued jobs or re-burning completed simulation work.
+//
+// # Log format
+//
+// The log is a single file of newline-delimited JSON records, one record
+// per line, appended in arrival order:
+//
+//	{"type":"job","id":"job-000001","kind":"sweep","created":...,"specs":[...]}
+//	{"type":"result","job":"job-000001","index":0,"key":"<rescq.CacheKey>","result":{...}}
+//	{"type":"done","job":"job-000001","state":"done"}
+//
+// The store is deliberately ignorant of the payload shapes: specs and
+// results travel as json.RawMessage, so the service layer owns the schema
+// and the store owns durability. Result records carry the canonical
+// rescq.CacheKey of their configuration, which is what lets the daemon
+// re-seed its result cache on replay and coalesce identical work across
+// restarts.
+//
+// # Crash safety
+//
+// The store is single-writer: Open takes a non-blocking exclusive flock
+// on the log, so a second process on the same directory fails fast with
+// ErrLocked instead of interleaving writes; the kernel releases the lock
+// on any process death. Every record is written with a single O_APPEND
+// Write call of one complete line, so a crash (SIGKILL included) can
+// only ever truncate the final record.
+// Replay tolerates exactly that: a trailing partial or corrupt line is
+// counted and discarded, every complete record before it is recovered. A
+// record that fails to decode mid-log (torn by an external editor, not a
+// crash) ends replay at that point rather than guessing.
+//
+// # Compaction
+//
+// The in-memory index mirrors the log: jobs, their results, terminal
+// states. Compact rewrites the log from that index, dropping jobs beyond
+// the terminal-retention bound and any superseded duplicate records, then
+// atomically renames the rewrite over the log. Open compacts automatically
+// when the replayed log carries enough garbage to matter, and Append*
+// triggers a background-free inline compaction when the record count since
+// the last compaction exceeds a threshold.
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Record types, the "type" field of every log line.
+const (
+	recJob    = "job"
+	recResult = "result"
+	recDone   = "done"
+)
+
+// JobRecord persists one submitted job: its identity and its fully
+// validated run specifications (opaque to the store).
+type JobRecord struct {
+	Type    string          `json:"type"` // filled by the store
+	ID      string          `json:"id"`
+	Kind    string          `json:"kind"`
+	Created time.Time       `json:"created"`
+	Specs   json.RawMessage `json:"specs"`
+}
+
+// ResultRecord persists one completed run configuration of a job. Key is
+// the configuration's canonical rescq.CacheKey ("" for uncacheable
+// configurations); Result is the service-layer ConfigResult payload.
+type ResultRecord struct {
+	Type   string          `json:"type"` // filled by the store
+	JobID  string          `json:"job"`
+	Index  int             `json:"index"`
+	Key    string          `json:"key,omitempty"`
+	Result json.RawMessage `json:"result"`
+}
+
+// DoneRecord persists a job's terminal state.
+type DoneRecord struct {
+	Type  string `json:"type"` // filled by the store
+	JobID string `json:"job"`
+	State string `json:"state"`
+	Error string `json:"error,omitempty"`
+}
+
+// ReplayedJob is one job reconstructed from the log: the job record, its
+// persisted results in index order, and its terminal state ("" while the
+// job was still queued or running when the log ended — an interrupted job
+// the daemon should re-enqueue).
+type ReplayedJob struct {
+	Job     JobRecord
+	Results []ResultRecord
+	State   string
+	Error   string
+}
+
+// Terminal reports whether the job reached a terminal state before the
+// log ended.
+func (r *ReplayedJob) Terminal() bool { return r.State != "" }
+
+// Stats is a point-in-time size snapshot of the store.
+type Stats struct {
+	Jobs        int   `json:"jobs"`         // jobs in the index
+	Records     int   `json:"records"`      // records in the log file
+	Bytes       int64 `json:"bytes"`        // log file size
+	Compactions int64 `json:"compactions"`  // lifetime compaction count
+	TailDropped int   `json:"tail_dropped"` // partial/corrupt tail records discarded at Open
+}
+
+// Options tunes a Store; the zero value is production-sensible.
+type Options struct {
+	// RetainJobs bounds how many terminal jobs compaction keeps (oldest
+	// evicted first); 0 means the default 1024. Interrupted and running
+	// jobs are always retained.
+	RetainJobs int
+	// CompactEvery triggers an inline compaction after this many appended
+	// records; 0 means the default 8192.
+	CompactEvery int
+}
+
+func (o Options) withDefaults() Options {
+	if o.RetainJobs == 0 {
+		o.RetainJobs = 1024
+	}
+	if o.CompactEvery == 0 {
+		o.CompactEvery = 8192
+	}
+	return o
+}
+
+// WALName is the log's filename inside the store directory.
+const WALName = "wal.jsonl"
+
+// Store is the durable job + result log. All methods are safe for
+// concurrent use.
+type Store struct {
+	mu   sync.Mutex
+	opts Options
+	path string
+	f    *os.File
+
+	jobs  map[string]*ReplayedJob
+	order []string // job ids in first-seen order
+
+	records     int // records currently in the log file (including garbage)
+	sinceComp   int // records appended since the last compaction
+	bytes       int64
+	compactions int64
+	tailDropped int
+
+	replayed []ReplayedJob // snapshot taken at Open, in log order
+}
+
+// Open opens (creating if needed) the store in dir and replays the log.
+// A partial or corrupt tail record — the signature of a crash mid-append —
+// is discarded; everything before it is recovered.
+func Open(dir string, opts Options) (*Store, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	path := filepath.Join(dir, WALName)
+	// O_APPEND: every record lands atomically at EOF even if a stale
+	// handle (a crashed-but-lingering writer) races this one.
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	// One daemon per store dir: an exclusive flock rejects a second Open
+	// while the first holder lives; the kernel releases it on any process
+	// death, SIGKILL included, so crash-restart never needs cleanup.
+	if err := flockExclusive(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: %s: %w", path, err)
+	}
+	s := &Store{opts: opts, path: path, f: f, jobs: make(map[string]*ReplayedJob)}
+	jobs, records, dropped, err := Replay(f)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: replay %s: %w", path, err)
+	}
+	s.records = records
+	s.tailDropped = dropped
+	for i := range jobs {
+		j := jobs[i]
+		s.jobs[j.Job.ID] = &jobs[i]
+		s.order = append(s.order, j.Job.ID)
+	}
+	s.replayed = append([]ReplayedJob(nil), jobs...)
+	if st, err := f.Stat(); err == nil {
+		s.bytes = st.Size()
+	}
+	// A freshly replayed log that carries garbage (dropped tail, evictable
+	// jobs, or duplicate records) is compacted right away so a crash-loop
+	// cannot grow the file without bound.
+	if dropped > 0 || len(s.order) > opts.RetainJobs || records > s.liveRecords() {
+		if err := s.compactLocked(); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Replayed returns the jobs reconstructed at Open, in log order.
+func (s *Store) Replayed() []ReplayedJob {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]ReplayedJob(nil), s.replayed...)
+}
+
+// Stats reports the store's current size.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Jobs:        len(s.jobs),
+		Records:     s.records,
+		Bytes:       s.bytes,
+		Compactions: s.compactions,
+		TailDropped: s.tailDropped,
+	}
+}
+
+// AppendJob logs a submitted job. Re-appending a known id is a no-op
+// (resumed jobs are already on disk). AppendJob never compacts inline:
+// the service calls it on its submission path (holding a server-wide
+// lock so a result can never precede its job record), and a cascaded
+// whole-log rewrite there would stall every submission. Results and
+// terminal markers — appended from worker goroutines — carry the
+// compaction trigger instead, and every job eventually produces one.
+func (s *Store) AppendJob(r JobRecord) error {
+	r.Type = recJob
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return errClosed
+	}
+	if _, ok := s.jobs[r.ID]; ok {
+		return nil
+	}
+	if err := s.writeLocked(r); err != nil {
+		return err
+	}
+	s.jobs[r.ID] = &ReplayedJob{Job: r}
+	s.order = append(s.order, r.ID)
+	return nil
+}
+
+// AppendResult logs one completed run configuration. Results must arrive
+// in index order per job; a duplicate or out-of-order index is dropped
+// (it can only be a replayed configuration re-reported on resume).
+func (s *Store) AppendResult(r ResultRecord) error {
+	r.Type = recResult
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return errClosed
+	}
+	j, ok := s.jobs[r.JobID]
+	if !ok || r.Index != len(j.Results) {
+		return nil
+	}
+	if err := s.writeLocked(r); err != nil {
+		return err
+	}
+	j.Results = append(j.Results, r)
+	return s.maybeCompactLocked()
+}
+
+// AppendDone logs a job's terminal state.
+func (s *Store) AppendDone(r DoneRecord) error {
+	r.Type = recDone
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return errClosed
+	}
+	j, ok := s.jobs[r.JobID]
+	if !ok || j.State != "" {
+		return nil
+	}
+	if err := s.writeLocked(r); err != nil {
+		return err
+	}
+	j.State, j.Error = r.State, r.Error
+	return s.maybeCompactLocked()
+}
+
+var errClosed = errors.New("store: closed")
+
+// ErrLocked is returned by Open when another live process holds the WAL.
+var ErrLocked = errors.New("wal locked by another process")
+
+func (s *Store) writeLocked(v any) error {
+	line, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("store: encode record: %w", err)
+	}
+	line = append(line, '\n')
+	// One complete line per Write call: a crash can truncate the final
+	// record but never interleave two.
+	n, err := s.f.Write(line)
+	s.bytes += int64(n)
+	if err != nil {
+		return fmt.Errorf("store: append: %w", err)
+	}
+	s.records++
+	s.sinceComp++
+	return nil
+}
+
+// liveRecords counts the records a compacted log would hold.
+func (s *Store) liveRecords() int {
+	n := 0
+	for _, j := range s.jobs {
+		n += 1 + len(j.Results)
+		if j.State != "" {
+			n++
+		}
+	}
+	return n
+}
+
+func (s *Store) maybeCompactLocked() error {
+	if s.sinceComp < s.opts.CompactEvery && len(s.order) <= 2*s.opts.RetainJobs {
+		return nil
+	}
+	return s.compactLocked()
+}
+
+// Compact rewrites the log from the in-memory index, evicting terminal
+// jobs beyond the retention bound, and atomically replaces the log file.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return errClosed
+	}
+	return s.compactLocked()
+}
+
+func (s *Store) compactLocked() error {
+	// Evict the oldest terminal jobs beyond the retention bound.
+	terminal := 0
+	for _, id := range s.order {
+		if s.jobs[id].Terminal() {
+			terminal++
+		}
+	}
+	if evict := terminal - s.opts.RetainJobs; evict > 0 {
+		kept := s.order[:0]
+		for _, id := range s.order {
+			if evict > 0 && s.jobs[id].Terminal() {
+				delete(s.jobs, id)
+				evict--
+				continue
+			}
+			kept = append(kept, id)
+		}
+		s.order = kept
+	}
+
+	tmp, err := os.CreateTemp(filepath.Dir(s.path), WALName+".compact-*")
+	if err != nil {
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after the successful rename
+	w := bufio.NewWriter(tmp)
+	records := 0
+	emit := func(v any) bool {
+		line, err := json.Marshal(v)
+		if err == nil {
+			w.Write(line)
+			err = w.WriteByte('\n')
+		}
+		if err != nil {
+			return false
+		}
+		records++
+		return true
+	}
+	for _, id := range s.order {
+		j := s.jobs[id]
+		ok := emit(j.Job)
+		for _, r := range j.Results {
+			ok = ok && emit(r)
+		}
+		if j.State != "" {
+			ok = ok && emit(DoneRecord{Type: recDone, JobID: id, State: j.State, Error: j.Error})
+		}
+		if !ok {
+			tmp.Close()
+			return fmt.Errorf("store: compact: rewrite failed")
+		}
+	}
+	if err := w.Flush(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	st, err := tmp.Stat()
+	if err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	// Carry the single-writer lock onto the new inode before it becomes
+	// the log; the old inode's lock dies with its fd below.
+	if err := flockExclusive(tmp); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), s.path); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	s.f.Close()
+	s.f = tmp
+	s.records = records
+	s.sinceComp = 0
+	s.bytes = st.Size()
+	s.compactions++
+	return nil
+}
+
+// Sync flushes the log to stable storage (fsync). Appends themselves only
+// guarantee process-crash durability (the write reaches the kernel); Sync
+// is the OS-crash checkpoint the daemon takes on graceful drain.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return errClosed
+	}
+	return s.f.Sync()
+}
+
+// Close compacts, syncs and closes the log. Further appends fail.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	err := s.compactLocked()
+	if serr := s.f.Sync(); err == nil {
+		err = serr
+	}
+	if cerr := s.f.Close(); err == nil {
+		err = cerr
+	}
+	s.f = nil
+	return err
+}
+
+// Replay reconstructs jobs from a log stream. It returns the jobs in
+// first-seen order, the number of complete records read, and the number of
+// partial/corrupt records discarded at the tail. Replay is tolerant of the
+// crash signature (a torn final line) and of record interleavings: results
+// and done markers arriving before their job record are buffered and
+// merged, duplicate and out-of-order result indices are dropped, and a
+// second job record for a known id is ignored. Orphan results whose job
+// record never appears are attached to a synthetic spec-less job so their
+// cache keys remain recoverable.
+func Replay(r io.Reader) ([]ReplayedJob, int, int, error) {
+	jobs := make(map[string]*ReplayedJob)
+	var order []string
+	get := func(id string) *ReplayedJob {
+		j, ok := jobs[id]
+		if !ok {
+			j = &ReplayedJob{Job: JobRecord{Type: recJob, ID: id}}
+			jobs[id] = j
+			order = append(order, id)
+		}
+		return j
+	}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 64*1024*1024)
+	records, dropped := 0, 0
+	var pendingErr error
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var head struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal(line, &head); err != nil {
+			// Only acceptable as the torn final record of a crash; if more
+			// complete records follow, the log is corrupt mid-stream.
+			dropped++
+			pendingErr = fmt.Errorf("store: corrupt record %d: %w", records+dropped, err)
+			continue
+		}
+		if pendingErr != nil {
+			return nil, records, dropped, pendingErr
+		}
+		switch head.Type {
+		case recJob:
+			var rec JobRecord
+			if err := json.Unmarshal(line, &rec); err != nil || rec.ID == "" {
+				dropped++
+				pendingErr = fmt.Errorf("store: bad job record %d", records+dropped)
+				continue
+			}
+			j := get(rec.ID)
+			if j.Job.Specs == nil {
+				created := j.Job.Created
+				j.Job = rec
+				if rec.Created.IsZero() {
+					j.Job.Created = created
+				}
+			}
+		case recResult:
+			var rec ResultRecord
+			if err := json.Unmarshal(line, &rec); err != nil || rec.JobID == "" {
+				dropped++
+				pendingErr = fmt.Errorf("store: bad result record %d", records+dropped)
+				continue
+			}
+			j := get(rec.JobID)
+			if rec.Index == len(j.Results) {
+				j.Results = append(j.Results, rec)
+			}
+		case recDone:
+			var rec DoneRecord
+			if err := json.Unmarshal(line, &rec); err != nil || rec.JobID == "" {
+				dropped++
+				pendingErr = fmt.Errorf("store: bad done record %d", records+dropped)
+				continue
+			}
+			j := get(rec.JobID)
+			if j.State == "" {
+				j.State, j.Error = rec.State, rec.Error
+			}
+		default:
+			dropped++
+			pendingErr = fmt.Errorf("store: unknown record type %q", head.Type)
+			continue
+		}
+		records++
+	}
+	if err := sc.Err(); err != nil {
+		if errors.Is(err, bufio.ErrTooLong) {
+			// An oversized line can only be a torn or hostile tail record;
+			// everything already decoded stands.
+			dropped++
+		} else {
+			return nil, records, dropped, fmt.Errorf("store: read log: %w", err)
+		}
+	}
+	out := make([]ReplayedJob, 0, len(order))
+	for _, id := range order {
+		out = append(out, *jobs[id])
+	}
+	sort.SliceStable(out, func(a, b int) bool { return out[a].Job.ID < out[b].Job.ID })
+	return out, records, dropped, nil
+}

@@ -79,6 +79,7 @@
 package rescq
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
@@ -329,25 +330,40 @@ func BenchmarkCircuitText(name string) (string, error) {
 
 // Run simulates a named Table 3 benchmark under the given options.
 func Run(benchmark string, opts Options) (Summary, error) {
+	return RunContext(context.Background(), benchmark, opts)
+}
+
+// RunContext is Run with cooperative cancellation: every seeded run polls
+// ctx inside the engine's cycle loop, so cancelling the context aborts a
+// long simulation mid-run (the rescqd daemon uses this to honor job
+// cancellation promptly instead of at configuration boundaries). The
+// returned error wraps ctx.Err() when the run was aborted.
+func RunContext(ctx context.Context, benchmark string, opts Options) (Summary, error) {
 	spec, ok := qbench.ByName(benchmark)
 	if !ok {
 		return Summary{}, fmt.Errorf("rescq: unknown benchmark %q (see Benchmarks())", benchmark)
 	}
-	return runCircuit(spec.Circuit(), opts)
+	return runCircuit(ctx, spec.Circuit(), opts)
 }
 
 // RunCircuitText simulates a circuit given in the artifact text format:
 // the gate count on the first line, then one "<gate> <qubits> [angle]" per
 // line (see internal/circuit for the accepted angle syntaxes).
 func RunCircuitText(name, text string, opts Options) (Summary, error) {
+	return RunCircuitTextContext(context.Background(), name, text, opts)
+}
+
+// RunCircuitTextContext is RunCircuitText with cooperative cancellation
+// (see RunContext).
+func RunCircuitTextContext(ctx context.Context, name, text string, opts Options) (Summary, error) {
 	c, err := circuit.ParseString(name, text)
 	if err != nil {
 		return Summary{}, err
 	}
-	return runCircuit(c, opts)
+	return runCircuit(ctx, c, opts)
 }
 
-func runCircuit(c *circuit.Circuit, opts Options) (Summary, error) {
+func runCircuit(ctx context.Context, c *circuit.Circuit, opts Options) (Summary, error) {
 	opts = opts.withDefaults()
 	if err := opts.Validate(); err != nil {
 		return Summary{}, err
@@ -381,7 +397,7 @@ func runCircuit(c *circuit.Circuit, opts Options) (Summary, error) {
 			errs[i] = err
 			return
 		}
-		results[i], errs[i] = sim.RunSeeded(g, c, cfg, opts.Seed+int64(i), s)
+		results[i], errs[i] = sim.RunSeededContext(ctx, g, c, cfg, opts.Seed+int64(i), s)
 	})
 	for _, err := range errs {
 		if err != nil {
