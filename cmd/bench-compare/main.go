@@ -27,6 +27,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -79,6 +80,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	var (
 		baselinePath = fs.String("baseline", "BENCH_baseline.json", "baseline snapshot file")
 		tolerance    = fs.Float64("tolerance", 0.25, "allowed fractional ns/op regression vs the baseline 'after' values")
+		emitPath     = fs.String("emit", "", "write the measured ns/op values to this file in the baseline JSON shape (e.g. BENCH_pr.json for a CI artifact); written even when the comparison fails")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -100,6 +102,15 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	current, err := parseBenchOutput(stdin, stdout)
 	if err != nil {
 		return fail(err)
+	}
+
+	// Emit before comparing: a regressed run is exactly the one whose
+	// measurements are worth keeping as an artifact.
+	if *emitPath != "" {
+		if err := emitSnapshot(*emitPath, current); err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(stdout, "bench-compare: wrote %d measurement(s) to %s\n", len(current), *emitPath)
 	}
 
 	lines, warnings, failures := compareBenchmarks(base, current, *tolerance)
@@ -134,6 +145,28 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// emitSnapshot writes the measured ns/op values in the BENCH_baseline.json
+// shape, so a run's measurements can be archived per-PR (and even promoted
+// to a new baseline verbatim).
+func emitSnapshot(path string, current map[string]float64) error {
+	out := baselineFile{
+		Description: "bench-compare measurement snapshot (ns/op as baseline 'after' points)",
+		Machine:     fmt.Sprintf("%s/%s", runtime.GOOS, runtime.GOARCH),
+		Benchmarks:  make(map[string]baselineEntry, len(current)),
+	}
+	for name, ns := range current {
+		out.Benchmarks[name] = baselineEntry{After: &baselinePoint{NsPerOp: ns}}
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return fmt.Errorf("emit %s: %w", path, err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("emit: %w", err)
+	}
+	return nil
 }
 
 // compareBenchmarks checks every pinned baseline entry against the

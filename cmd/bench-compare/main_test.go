@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"errors"
 	"math"
 	"os"
@@ -169,5 +170,63 @@ func TestParseStripsGomaxprocsSuffix(t *testing.T) {
 	}
 	if got["BenchmarkX"] != 7 {
 		t.Errorf("unsuffixed name mishandled: %v", got)
+	}
+}
+
+// TestEmitSnapshot: -emit writes the measured values in the baseline JSON
+// shape, and does so even when the comparison itself fails, so CI can
+// archive the measurements of a regressed run.
+func TestEmitSnapshot(t *testing.T) {
+	emitPath := filepath.Join(t.TempDir(), "BENCH_pr.json")
+	var out, errOut bytes.Buffer
+	code := run([]string{"-baseline", writeBaseline(t), "-emit", emitPath},
+		strings.NewReader(`
+BenchmarkSimulatorRESCQ-8   	     100	  99000000 ns/op
+BenchmarkMSTCompute-8       	     500	   2000000 ns/op
+`), &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 (SimulatorRESCQ regressed)", code)
+	}
+	data, err := os.ReadFile(emitPath)
+	if err != nil {
+		t.Fatalf("emitted file: %v", err)
+	}
+	var snap baselineFile
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("emitted file does not parse as a baseline: %v\n%s", err, data)
+	}
+	if len(snap.Benchmarks) != 2 {
+		t.Fatalf("emitted %d benchmarks, want 2:\n%s", len(snap.Benchmarks), data)
+	}
+	got := snap.Benchmarks["BenchmarkSimulatorRESCQ"]
+	if got.After == nil || got.After.NsPerOp != 99000000 {
+		t.Fatalf("emitted SimulatorRESCQ = %+v", got)
+	}
+	if snap.Machine == "" {
+		t.Error("emitted snapshot has no machine field")
+	}
+	// The emitted file round-trips as a -baseline input (promotion path).
+	var out2, errOut2 bytes.Buffer
+	code = run([]string{"-baseline", emitPath},
+		strings.NewReader(`
+BenchmarkSimulatorRESCQ-8   	     100	  99000000 ns/op
+BenchmarkMSTCompute-8       	     500	   2000000 ns/op
+`), &out2, &errOut2)
+	if code != 0 {
+		t.Fatalf("re-comparing against the emitted snapshot failed: %s", errOut2.String())
+	}
+}
+
+// TestEmitUnwritablePathFails: an unwritable -emit path is a hard error,
+// not a silently dropped artifact.
+func TestEmitUnwritablePathFails(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-baseline", writeBaseline(t), "-emit", filepath.Join(t.TempDir(), "no", "such", "dir.json")},
+		strings.NewReader("BenchmarkMSTCompute-8 500 2000000 ns/op\n"), &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(errOut.String(), "emit") {
+		t.Fatalf("stderr does not mention the emit failure: %s", errOut.String())
 	}
 }

@@ -11,6 +11,11 @@
 //	rescqd -addr :9000 -workers 4 -cache 2048
 //	rescqd -store-dir /var/lib/rescqd # durable: jobs + results survive restarts
 //	rescqd -config daemon.json        # JSON config (see internal/config.Daemon)
+//
+// Scale-out (see internal/cluster and the README's "Scaling out" section):
+//
+//	rescqd -mode coordinator -addr :8321
+//	rescqd -mode worker -addr :8322 -coordinator http://coord-host:8321
 package main
 
 import (
@@ -25,9 +30,25 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/config"
 	"repro/internal/service"
 )
+
+// deriveAdvertiseURL turns a bound listen address into a dialable base URL
+// for the local-machine quickstart case: a wildcard or unspecified host
+// becomes 127.0.0.1. Multi-host deployments set -advertise explicitly.
+func deriveAdvertiseURL(bound string) string {
+	host, port, err := net.SplitHostPort(bound)
+	if err != nil {
+		return "http://" + bound
+	}
+	switch host {
+	case "", "::", "0.0.0.0":
+		host = "127.0.0.1"
+	}
+	return "http://" + net.JoinHostPort(host, port)
+}
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, nil))
@@ -50,6 +71,13 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		layout   = fs.String("layout", "", "default lattice layout for requests that name none (default star; see GET /v1/capabilities)")
 		storeDir = fs.String("store-dir", "", "durable job+result store directory (WAL); empty disables persistence")
 		maxDepth = fs.Int("max-queue-depth", 0, "admission-control bound on unfinished run configurations; beyond it submissions get 429 (0 = default 4096, negative disables)")
+
+		mode      = fs.String("mode", "", "cluster mode: standalone (default), coordinator, or worker")
+		coordURL  = fs.String("coordinator", "", "coordinator base URL (worker mode only)")
+		advertise = fs.String("advertise", "", "base URL the coordinator dials back for this worker; empty derives http://127.0.0.1:<bound port>")
+		heartbeat = fs.Duration("heartbeat-interval", 0, "worker heartbeat / coordinator sweep cadence (0 = default 2s; cluster modes only)")
+		expiry    = fs.Duration("liveness-expiry", 0, "how long a worker may miss heartbeats before the coordinator expires it (0 = default 3x heartbeat)")
+		batchSize = fs.Int("batch-size", 0, "sweep configurations per dispatch batch (0 = default 8; coordinator only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -63,6 +91,14 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		Addr: *addr, Workers: *workers, QueueDepth: *queue,
 		CacheEntries: *cache, DrainTimeoutSec: *drain, Layout: *layout,
 		StoreDir: *storeDir, MaxQueueDepth: *maxDepth,
+		Cluster: config.Cluster{
+			Mode:                *mode,
+			CoordinatorURL:      *coordURL,
+			AdvertiseURL:        *advertise,
+			HeartbeatIntervalMS: int(heartbeat.Milliseconds()),
+			LivenessExpiryMS:    int(expiry.Milliseconds()),
+			BatchSize:           *batchSize,
+		},
 	}.WithDefaults()
 	if *cfgPath != "" {
 		loaded, err := config.LoadDaemon(*cfgPath)
@@ -104,14 +140,41 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		fmt.Fprintln(stderr, "rescqd:", err)
 		return 1
 	}
-	fmt.Fprintf(stdout, "rescqd: listening on %s (workers=%d queue=%d cache=%d)\n",
-		ln.Addr(), svc.Workers(), cfg.QueueDepth, cfg.CacheEntries)
+	modeNote := ""
+	if cfg.Cluster.Clustered() {
+		modeNote = " mode=" + cfg.Cluster.Mode
+	}
+	fmt.Fprintf(stdout, "rescqd: listening on %s (workers=%d queue=%d cache=%d%s)\n",
+		ln.Addr(), svc.Workers(), cfg.QueueDepth, cfg.CacheEntries, modeNote)
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	// A worker keeps itself registered with the coordinator: one heartbeat
+	// immediately, then one per interval, until shutdown begins. Transient
+	// failures (the coordinator not up yet, a coordinator restart) are
+	// retried at the heartbeat cadence, logged but not fatal.
+	hbCtx, hbStop := context.WithCancel(context.Background())
+	defer hbStop()
+	if cfg.Cluster.Mode == config.ModeWorker {
+		self := cfg.Cluster.AdvertiseURL
+		if self == "" {
+			self = deriveAdvertiseURL(ln.Addr().String())
+		}
+		fmt.Fprintf(stdout, "rescqd: worker %s heartbeating to %s every %s\n",
+			self, cfg.Cluster.CoordinatorURL, cfg.Cluster.HeartbeatInterval())
+		hb := &cluster.Heartbeater{
+			Client:         cluster.NewClient(nil),
+			CoordinatorURL: cfg.Cluster.CoordinatorURL,
+			Self:           cluster.RegisterRequest{ID: self, URL: self, Capacity: svc.Workers()},
+			Interval:       cfg.Cluster.HeartbeatInterval(),
+			OnError:        func(err error) { fmt.Fprintln(stderr, "rescqd: heartbeat:", err) },
+		}
+		go hb.Run(hbCtx)
+	}
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
@@ -125,6 +188,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		return 1
 	}
 
+	hbStop() // deregistration is implicit: missed heartbeats expire the worker
 	ctx, cancel := context.WithTimeout(context.Background(), cfg.DrainTimeout())
 	defer cancel()
 	httpSrv.Shutdown(ctx)

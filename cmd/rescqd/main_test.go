@@ -87,6 +87,12 @@ func TestDaemonFlagAndConfigErrors(t *testing.T) {
 		{"missing config", []string{"-config", "/does/not/exist.json"}, 1},
 		{"invalid workers", []string{"-workers", "-3"}, 1},
 		{"unbindable addr", []string{"-addr", "256.0.0.1:99999"}, 1},
+		{"unknown mode", []string{"-mode", "leader"}, 1},
+		{"worker without coordinator", []string{"-mode", "worker"}, 1},
+		{"worker with bad coordinator url", []string{"-mode", "worker", "-coordinator", "not-a-url"}, 1},
+		{"coordinator flag in standalone", []string{"-coordinator", "http://coord:8321"}, 1},
+		{"advertise flag in standalone", []string{"-advertise", "http://me:9000"}, 1},
+		{"negative batch size", []string{"-mode", "coordinator", "-batch-size", "-2"}, 1},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -1,0 +1,134 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Client is the coordinator<->worker HTTP client: the coordinator uses
+// Execute to dispatch batches, workers use Register to announce themselves
+// and heartbeat. The zero value is not usable; build with NewClient.
+type Client struct {
+	hc *http.Client
+}
+
+// NewClient returns a client. A nil http.Client uses a default tuned for
+// intra-cluster traffic: no overall request timeout (a batch legitimately
+// runs for as long as its simulations do — a slow-but-alive worker is
+// detected by liveness expiry aborting the call via the lease's gone
+// channel, not by a wall-clock guess), but a bounded dial so an
+// unreachable or blackholed peer fails fast instead of hanging a
+// dispatcher on connection establishment.
+func NewClient(hc *http.Client) *Client {
+	if hc == nil {
+		hc = &http.Client{
+			Transport: &http.Transport{
+				DialContext: (&net.Dialer{
+					Timeout:   10 * time.Second,
+					KeepAlive: 15 * time.Second,
+				}).DialContext,
+				MaxIdleConnsPerHost: 16,
+				IdleConnTimeout:     90 * time.Second,
+			},
+		}
+	}
+	return &Client{hc: hc}
+}
+
+// joinURL appends path to a base URL without doubling slashes.
+func joinURL(base, path string) string {
+	return strings.TrimRight(base, "/") + path
+}
+
+func (c *Client) postJSON(ctx context.Context, url string, body, out any) error {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return fmt.Errorf("cluster: encode request: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(data))
+	if err != nil {
+		return fmt.Errorf("cluster: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("cluster: %s: %w", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("cluster: %s: status %d: %s", url, resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	// Responses are deliberately not size-capped: they come from peers this
+	// node chose to talk to, and a large batch of KeepLatencies results is
+	// legitimately bigger than any request bound. Truncating one here would
+	// misread a healthy worker as broken and churn it out of the registry.
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("cluster: %s: decode response: %w", url, err)
+	}
+	return nil
+}
+
+// Register announces (or heartbeats) a worker to the coordinator.
+func (c *Client) Register(ctx context.Context, coordinatorURL string, req RegisterRequest) (RegisterResponse, error) {
+	var resp RegisterResponse
+	err := c.postJSON(ctx, joinURL(coordinatorURL, RegisterPath), req, &resp)
+	return resp, err
+}
+
+// Execute dispatches one batch to a worker and returns its results. Any
+// transport error (a SIGKILLed worker resets the connection) or non-200
+// status marks the batch undelivered; the caller re-dispatches it.
+func (c *Client) Execute(ctx context.Context, workerURL string, req ExecuteRequest) (ExecuteResponse, error) {
+	var resp ExecuteResponse
+	if err := c.postJSON(ctx, joinURL(workerURL, ExecutePath), req, &resp); err != nil {
+		return ExecuteResponse{}, err
+	}
+	if len(resp.Results) != len(req.Configs) {
+		return ExecuteResponse{}, fmt.Errorf("cluster: worker returned %d results for a %d-config batch",
+			len(resp.Results), len(req.Configs))
+	}
+	return resp, nil
+}
+
+// Heartbeater keeps a worker registered with its coordinator: one Register
+// POST immediately, then one per interval until the context ends. Failures
+// are retried at the same cadence (the coordinator may simply not be up
+// yet); onError, when non-nil, observes them.
+type Heartbeater struct {
+	Client         *Client
+	CoordinatorURL string
+	Self           RegisterRequest
+	Interval       time.Duration
+	// OnError observes failed heartbeats (nil ignores them).
+	OnError func(error)
+}
+
+// Run blocks, heartbeating until ctx is cancelled. Each heartbeat gets a
+// deadline of one interval, so a blackholed coordinator cannot wedge the
+// loop: the worker keeps retrying at cadence and re-registers the moment
+// the network heals.
+func (h *Heartbeater) Run(ctx context.Context) {
+	t := time.NewTicker(h.Interval)
+	defer t.Stop()
+	for {
+		beat, cancel := context.WithTimeout(ctx, h.Interval)
+		_, err := h.Client.Register(beat, h.CoordinatorURL, h.Self)
+		cancel()
+		if err != nil && h.OnError != nil && ctx.Err() == nil {
+			h.OnError(err)
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+	}
+}

@@ -1,0 +1,173 @@
+// Package cluster implements the horizontal scale-out substrate of the
+// rescqd daemon: worker membership, liveness and load tracking for a
+// coordinator node, plus the wire protocol and HTTP client the
+// coordinator uses to shard sweep configurations across worker nodes.
+//
+// # Topology
+//
+// A cluster is one coordinator and N workers, all running the same rescqd
+// binary in different modes. The coordinator keeps the public v1 API, the
+// WAL, admission control and the result cache; workers execute batches of
+// run configurations on the coordinator's behalf.
+//
+//	                POST /internal/v1/register   (worker -> coordinator,
+//	                                              repeated as heartbeat)
+//	+--------+     <------------------------     +----------+
+//	| coord  |                                   | worker 1 |
+//	|  (v1   |     ------------------------>     | worker 2 |
+//	|  API)  |      POST /internal/v1/execute    | worker 3 |
+//	+--------+       (coordinator -> worker)     +----------+
+//
+// Workers announce themselves (and stay alive) by POSTing a RegisterRequest
+// to the coordinator at every heartbeat interval; a worker that misses the
+// liveness window is expired and its in-flight batches are re-dispatched to
+// survivors. The coordinator POSTs ExecuteRequests — batches of opaque,
+// fully-validated run specifications — to the worker's execute endpoint and
+// collects per-configuration results.
+//
+// The package is deliberately ignorant of the service layer's spec and
+// result schemas: specs and results travel as json.RawMessage, so
+// internal/service owns the payload shapes and this package owns
+// membership, liveness, load accounting and transport.
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Internal endpoint paths, mounted by the rescqd handler in the matching
+// mode.
+const (
+	// RegisterPath is served by the coordinator; workers POST
+	// RegisterRequests to it at every heartbeat interval.
+	RegisterPath = "/internal/v1/register"
+	// ExecutePath is served by workers; the coordinator POSTs
+	// ExecuteRequests (batches of run specifications) to it.
+	ExecutePath = "/internal/v1/execute"
+)
+
+// RegisterRequest announces (or refreshes) a worker to the coordinator.
+// The first request registers the worker; every subsequent one is a
+// heartbeat that extends its liveness lease. Capacity may change between
+// heartbeats (a worker that resizes its pool re-announces it).
+type RegisterRequest struct {
+	// ID uniquely names the worker; by convention its advertise URL.
+	ID string `json:"id"`
+	// URL is the base URL the coordinator dials for ExecutePath.
+	URL string `json:"url"`
+	// Capacity is the worker's batch parallelism: the coordinator keeps at
+	// most this many batches in flight on the worker (min 1).
+	Capacity int `json:"capacity"`
+}
+
+// RegisterResponse acknowledges a registration/heartbeat.
+type RegisterResponse struct {
+	// ExpiresInMS is the liveness lease: the worker is expired unless it
+	// heartbeats again within this window.
+	ExpiresInMS int64 `json:"expires_in_ms"`
+	// Workers reports the cluster's current live-worker count.
+	Workers int `json:"workers"`
+}
+
+// ExecuteConfig is one run configuration inside a batch: the
+// coordinator-assigned global index of the configuration within its job,
+// and the opaque service-layer spec.
+type ExecuteConfig struct {
+	Index int             `json:"index"`
+	Spec  json.RawMessage `json:"spec"`
+}
+
+// ExecuteRequest is one dispatched batch.
+type ExecuteRequest struct {
+	// JobID names the coordinator job the batch belongs to (observability
+	// only; workers do not track jobs).
+	JobID string `json:"job_id"`
+	// Batch is the batch's ordinal within the job (observability only).
+	Batch int `json:"batch"`
+	// Configs are the configurations to execute, in index order.
+	Configs []ExecuteConfig `json:"configs"`
+}
+
+// ExecuteResponse carries one result per requested configuration, in the
+// same order as the request's Configs. Each result is an opaque
+// service-layer ConfigResult payload.
+type ExecuteResponse struct {
+	Results []json.RawMessage `json:"results"`
+}
+
+// Decoder limits: a hostile or corrupt dispatch request must not buffer
+// unbounded JSON into a worker.
+const (
+	// MaxExecuteBody caps the encoded request size (circuit-text specs are
+	// the largest legitimate payloads, well under a megabyte each).
+	MaxExecuteBody = 16 << 20
+	// MaxBatchConfigs caps configurations per batch; the coordinator's
+	// batch size is always far below it.
+	MaxBatchConfigs = 1024
+)
+
+// DecodeExecuteRequest strictly parses a batch-dispatch request: size
+// capped, unknown fields rejected, batch shape validated. It is the
+// worker-side trust boundary for coordinator traffic (and is fuzzed).
+func DecodeExecuteRequest(r io.Reader) (ExecuteRequest, error) {
+	var req ExecuteRequest
+	dec := json.NewDecoder(io.LimitReader(r, MaxExecuteBody+1))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return ExecuteRequest{}, fmt.Errorf("cluster: bad execute request: %w", err)
+	}
+	// A second JSON value after the request object is as malformed as a
+	// trailing garbage byte.
+	if err := dec.Decode(&struct{}{}); err != io.EOF {
+		return ExecuteRequest{}, errors.New("cluster: bad execute request: trailing data")
+	}
+	if err := req.validate(); err != nil {
+		return ExecuteRequest{}, err
+	}
+	return req, nil
+}
+
+func (req *ExecuteRequest) validate() error {
+	if req.JobID == "" {
+		return errors.New("cluster: execute request without job_id")
+	}
+	if req.Batch < 0 {
+		return fmt.Errorf("cluster: negative batch ordinal %d", req.Batch)
+	}
+	if len(req.Configs) == 0 {
+		return errors.New("cluster: execute request with empty batch")
+	}
+	if len(req.Configs) > MaxBatchConfigs {
+		return fmt.Errorf("cluster: batch of %d configs exceeds the %d limit",
+			len(req.Configs), MaxBatchConfigs)
+	}
+	for i, c := range req.Configs {
+		if c.Index < 0 {
+			return fmt.Errorf("cluster: config %d has negative index %d", i, c.Index)
+		}
+		if i > 0 && c.Index <= req.Configs[i-1].Index {
+			return fmt.Errorf("cluster: config indices not strictly increasing at %d", i)
+		}
+		if len(c.Spec) == 0 {
+			return fmt.Errorf("cluster: config %d has an empty spec", i)
+		}
+	}
+	return nil
+}
+
+// WorkerInfo is a point-in-time public view of one registered worker, for
+// /healthz and /metrics.
+type WorkerInfo struct {
+	ID       string  `json:"id"`
+	URL      string  `json:"url"`
+	Capacity int     `json:"capacity"`
+	Inflight int     `json:"inflight"`
+	AgeSec   float64 `json:"last_seen_age_sec"`
+}
+
+// nowFunc is the registry clock, swappable in tests.
+type nowFunc func() time.Time

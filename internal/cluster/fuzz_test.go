@@ -1,0 +1,57 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// FuzzDecodeExecuteRequest hammers the worker-side trust boundary: the
+// batch-dispatch decoder must never panic, must never accept a request
+// that violates its own invariants, and accepted requests must re-encode
+// and re-decode to the same batch (the coordinator and worker speak the
+// same dialect).
+func FuzzDecodeExecuteRequest(f *testing.F) {
+	f.Add([]byte(validExecuteJSON()))
+	f.Add([]byte(`{"job_id":"j","batch":1,"configs":[{"index":0,"spec":{"Benchmark":"x","Opts":{"distance":5}}}]}`))
+	f.Add([]byte(`{"job_id":"","configs":[]}`))
+	f.Add([]byte(`{"configs":[{"index":-1,"spec":{}}]}`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(`{"job_id":"j","configs":[{"index":0,"spec":0}]}`))
+	f.Add([]byte("\x00\xff garbage"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := DecodeExecuteRequest(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted requests must satisfy the documented invariants.
+		if req.JobID == "" || req.Batch < 0 {
+			t.Fatalf("accepted request with bad header: %+v", req)
+		}
+		if len(req.Configs) == 0 || len(req.Configs) > MaxBatchConfigs {
+			t.Fatalf("accepted batch of %d configs", len(req.Configs))
+		}
+		for i, c := range req.Configs {
+			if c.Index < 0 || len(c.Spec) == 0 {
+				t.Fatalf("accepted bad config %d: %+v", i, c)
+			}
+			if i > 0 && c.Index <= req.Configs[i-1].Index {
+				t.Fatalf("accepted non-increasing indices at %d", i)
+			}
+		}
+		// Round trip: encode and strictly re-decode.
+		enc, err := json.Marshal(req)
+		if err != nil {
+			t.Fatalf("re-encode accepted request: %v", err)
+		}
+		again, err := DecodeExecuteRequest(strings.NewReader(string(enc)))
+		if err != nil {
+			t.Fatalf("re-decode encoded request: %v\n%s", err, enc)
+		}
+		if again.JobID != req.JobID || len(again.Configs) != len(req.Configs) {
+			t.Fatalf("round trip changed the batch: %+v vs %+v", again, req)
+		}
+	})
+}

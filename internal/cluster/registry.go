@@ -1,0 +1,210 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"sync"
+	"time"
+)
+
+// ErrNoWorkers is returned by Acquire when the registry holds no live
+// workers at all; the caller should fall back to executing locally rather
+// than waiting for a worker that may never come.
+var ErrNoWorkers = errors.New("cluster: no live workers registered")
+
+// worker is the registry's internal record for one registered node.
+type worker struct {
+	id       string
+	url      string
+	capacity int
+	lastSeen time.Time
+	inflight int
+	// gone is closed when the worker is removed (explicitly or by liveness
+	// expiry); dispatchers watching it abort their in-flight call so the
+	// batch can be re-dispatched instead of waiting on a dead socket.
+	gone chan struct{}
+}
+
+// Registry tracks the coordinator's worker membership, liveness and load.
+// All methods are safe for concurrent use.
+//
+// Dispatch policy: Acquire hands out the least-loaded live worker with a
+// free in-flight slot — lowest in-flight batch count first, ties broken by
+// lexicographically smallest worker id, so dispatch order is deterministic
+// and testable. When every live worker is saturated, Acquire blocks until a
+// slot frees, a worker (re-)registers, or ctx is cancelled.
+type Registry struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	workers map[string]*worker
+	now     nowFunc
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	r := &Registry{workers: make(map[string]*worker), now: time.Now}
+	r.cond = sync.NewCond(&r.mu)
+	return r
+}
+
+// Upsert registers a worker or refreshes its heartbeat lease, returning
+// whether the worker was previously unknown. Capacity below 1 is clamped
+// to 1.
+func (r *Registry) Upsert(req RegisterRequest) (isNew bool) {
+	capacity := req.Capacity
+	if capacity < 1 {
+		capacity = 1
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	w, ok := r.workers[req.ID]
+	if !ok {
+		w = &worker{id: req.ID, gone: make(chan struct{})}
+		r.workers[req.ID] = w
+	}
+	w.url = req.URL
+	w.capacity = capacity
+	w.lastSeen = r.now()
+	// A new worker or a raised capacity can unblock saturated dispatchers.
+	r.cond.Broadcast()
+	return !ok
+}
+
+// Remove drops a worker (observed dead by a failed dispatch); its gone
+// channel is closed so watchers abort. Removing an unknown id is a no-op.
+func (r *Registry) Remove(id string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.removeLocked(id)
+}
+
+func (r *Registry) removeLocked(id string) {
+	w, ok := r.workers[id]
+	if !ok {
+		return
+	}
+	close(w.gone)
+	delete(r.workers, id)
+	// Dispatchers blocked waiting for a slot must re-evaluate: with this
+	// worker gone the registry may now be empty (local-fallback time).
+	r.cond.Broadcast()
+}
+
+// ExpireDead removes every worker whose last heartbeat is older than
+// maxAge, returning the expired ids (sorted, for deterministic logs).
+func (r *Registry) ExpireDead(maxAge time.Duration) []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cutoff := r.now().Add(-maxAge)
+	var expired []string
+	for id, w := range r.workers {
+		if w.lastSeen.Before(cutoff) {
+			expired = append(expired, id)
+		}
+	}
+	sort.Strings(expired)
+	for _, id := range expired {
+		r.removeLocked(id)
+	}
+	return expired
+}
+
+// Len reports the number of registered workers.
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.workers)
+}
+
+// Lease is one acquired dispatch slot on a worker: the coordinates to dial
+// plus the release handle. Gone is closed if the worker dies while the
+// lease is held.
+type Lease struct {
+	ID   string
+	URL  string
+	Gone <-chan struct{}
+	r    *Registry
+	w    *worker
+}
+
+// Release frees the lease's in-flight slot. Safe to call after the worker
+// was removed (the slot died with it) — and only the slot's own worker
+// incarnation is decremented: if the worker expired and re-registered
+// while the lease was held, the fresh incarnation's accounting must not
+// absorb a stale release (that would overrun its capacity).
+func (l Lease) Release() {
+	l.r.mu.Lock()
+	defer l.r.mu.Unlock()
+	if cur, ok := l.r.workers[l.ID]; ok && cur == l.w && l.w.inflight > 0 {
+		l.w.inflight--
+		l.r.cond.Broadcast()
+	}
+}
+
+// Acquire picks the least-loaded live worker with a free in-flight slot
+// and reserves one slot on it. With every worker saturated it blocks until
+// a slot frees or membership changes; with no workers registered at all it
+// returns ErrNoWorkers immediately (the caller falls back to local
+// execution). Cancellation of ctx returns ctx.Err().
+func (r *Registry) Acquire(ctx context.Context) (Lease, error) {
+	// cond.Wait cannot watch a context; a per-call watcher converts the
+	// cancellation into a broadcast so the wait loop re-checks ctx.
+	stop := context.AfterFunc(ctx, func() {
+		r.mu.Lock()
+		r.cond.Broadcast()
+		r.mu.Unlock()
+	})
+	defer stop()
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for {
+		if err := ctx.Err(); err != nil {
+			return Lease{}, err
+		}
+		if len(r.workers) == 0 {
+			return Lease{}, ErrNoWorkers
+		}
+		if w := r.pickLocked(); w != nil {
+			w.inflight++
+			return Lease{ID: w.id, URL: w.url, Gone: w.gone, r: r, w: w}, nil
+		}
+		r.cond.Wait()
+	}
+}
+
+// pickLocked returns the least-loaded worker with a free slot: lowest
+// in-flight count, ties broken by smallest id. Nil when all are saturated.
+func (r *Registry) pickLocked() *worker {
+	var best *worker
+	for _, w := range r.workers {
+		if w.inflight >= w.capacity {
+			continue
+		}
+		if best == nil || w.inflight < best.inflight ||
+			(w.inflight == best.inflight && w.id < best.id) {
+			best = w
+		}
+	}
+	return best
+}
+
+// Snapshot returns every registered worker's public view, sorted by id.
+func (r *Registry) Snapshot() []WorkerInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := r.now()
+	out := make([]WorkerInfo, 0, len(r.workers))
+	for _, w := range r.workers {
+		out = append(out, WorkerInfo{
+			ID:       w.id,
+			URL:      w.url,
+			Capacity: w.capacity,
+			Inflight: w.inflight,
+			AgeSec:   now.Sub(w.lastSeen).Seconds(),
+		})
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}

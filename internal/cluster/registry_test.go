@@ -1,0 +1,216 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// fakeClock gives the registry a deterministic, manually advanced clock.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1000, 0)} }
+func testRegistry(c *fakeClock) *Registry {
+	r := NewRegistry()
+	r.now = c.now
+	return r
+}
+
+func mustAcquire(t *testing.T, r *Registry) Lease {
+	t.Helper()
+	l, err := r.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	return l
+}
+
+// TestAcquireLeastLoadedTieBreaking pins the dispatch policy: lowest
+// in-flight count wins, ties break on the lexicographically smallest
+// worker id, so dispatch order is deterministic.
+func TestAcquireLeastLoadedTieBreaking(t *testing.T) {
+	r := testRegistry(newFakeClock())
+	r.Upsert(RegisterRequest{ID: "w-b", URL: "http://b", Capacity: 2})
+	r.Upsert(RegisterRequest{ID: "w-a", URL: "http://a", Capacity: 2})
+	r.Upsert(RegisterRequest{ID: "w-c", URL: "http://c", Capacity: 2})
+
+	// All idle: ties on inflight=0 resolve to the smallest id, then the
+	// next smallest, round-robin-by-load.
+	want := []string{"w-a", "w-b", "w-c", "w-a", "w-b", "w-c"}
+	var leases []Lease
+	for i, w := range want {
+		l := mustAcquire(t, r)
+		if l.ID != w {
+			t.Fatalf("acquire %d: got %s, want %s", i, l.ID, w)
+		}
+		leases = append(leases, l)
+	}
+
+	// Releasing only w-b makes it strictly least-loaded.
+	leases[1].Release()
+	if l := mustAcquire(t, r); l.ID != "w-b" {
+		t.Fatalf("after release: got %s, want w-b", l.ID)
+	}
+}
+
+// TestAcquireRespectsCapacity: a saturated registry blocks Acquire until a
+// slot frees, and the per-worker in-flight cap is never exceeded.
+func TestAcquireRespectsCapacity(t *testing.T) {
+	r := testRegistry(newFakeClock())
+	r.Upsert(RegisterRequest{ID: "w-a", URL: "http://a", Capacity: 1})
+	l1 := mustAcquire(t, r)
+
+	got := make(chan Lease)
+	go func() {
+		l, err := r.Acquire(context.Background())
+		if err != nil {
+			t.Error("blocked Acquire:", err)
+		}
+		got <- l
+	}()
+	select {
+	case <-got:
+		t.Fatal("Acquire returned with the only worker saturated")
+	case <-time.After(20 * time.Millisecond):
+	}
+	l1.Release()
+	select {
+	case l := <-got:
+		if l.ID != "w-a" {
+			t.Fatalf("unblocked lease on %s, want w-a", l.ID)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Acquire did not unblock on Release")
+	}
+}
+
+// TestAcquireNoWorkers: an empty registry fails fast with ErrNoWorkers
+// (the caller falls back to local execution) rather than blocking.
+func TestAcquireNoWorkers(t *testing.T) {
+	r := testRegistry(newFakeClock())
+	if _, err := r.Acquire(context.Background()); !errors.Is(err, ErrNoWorkers) {
+		t.Fatalf("Acquire on empty registry: %v, want ErrNoWorkers", err)
+	}
+	// And after the last worker is removed mid-wait, a blocked Acquire
+	// resolves to ErrNoWorkers instead of waiting forever.
+	r.Upsert(RegisterRequest{ID: "w-a", Capacity: 1})
+	l := mustAcquire(t, r)
+	done := make(chan error, 1)
+	go func() {
+		_, err := r.Acquire(context.Background())
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	_ = l
+	r.Remove("w-a")
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrNoWorkers) {
+			t.Fatalf("blocked Acquire after removal: %v, want ErrNoWorkers", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Acquire did not observe the registry emptying")
+	}
+}
+
+// TestAcquireContextCancel: cancelling ctx unblocks a saturated wait.
+func TestAcquireContextCancel(t *testing.T) {
+	r := testRegistry(newFakeClock())
+	r.Upsert(RegisterRequest{ID: "w-a", Capacity: 1})
+	mustAcquire(t, r)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := r.Acquire(ctx)
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled Acquire: %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Acquire did not observe cancellation")
+	}
+}
+
+// TestExpireDead: workers outliving the liveness window are removed, their
+// gone channel closes, and a fresh heartbeat re-admits them.
+func TestExpireDead(t *testing.T) {
+	clock := newFakeClock()
+	r := testRegistry(clock)
+	r.Upsert(RegisterRequest{ID: "w-a", Capacity: 1})
+	r.Upsert(RegisterRequest{ID: "w-b", Capacity: 1})
+	lease := mustAcquire(t, r) // w-a
+
+	clock.advance(2 * time.Second)
+	r.Upsert(RegisterRequest{ID: "w-b", Capacity: 1}) // heartbeat
+	expired := r.ExpireDead(time.Second)
+	if len(expired) != 1 || expired[0] != "w-a" {
+		t.Fatalf("expired = %v, want [w-a]", expired)
+	}
+	select {
+	case <-lease.Gone:
+	default:
+		t.Fatal("expired worker's gone channel not closed")
+	}
+	lease.Release() // slot died with the worker; must not panic or underflow
+	if n := r.Len(); n != 1 {
+		t.Fatalf("registry has %d workers after expiry, want 1", n)
+	}
+	if isNew := r.Upsert(RegisterRequest{ID: "w-a", Capacity: 1}); !isNew {
+		t.Fatal("re-registered expired worker should be new again")
+	}
+}
+
+// TestStaleLeaseReleaseIgnoresNewIncarnation: a lease acquired on an
+// expired worker incarnation must not decrement the in-flight count of a
+// re-registered incarnation with the same id — that would let dispatchers
+// overrun the fresh worker's capacity.
+func TestStaleLeaseReleaseIgnoresNewIncarnation(t *testing.T) {
+	r := testRegistry(newFakeClock())
+	r.Upsert(RegisterRequest{ID: "w-a", Capacity: 1})
+	stale := mustAcquire(t, r)
+	r.Remove("w-a") // observed dead mid-batch
+
+	// The worker comes back (heartbeat after restart) and its only slot is
+	// acquired by a new dispatcher.
+	r.Upsert(RegisterRequest{ID: "w-a", Capacity: 1})
+	fresh := mustAcquire(t, r)
+
+	// The old batch finally errors out and releases its stale lease; the
+	// fresh incarnation must still be saturated.
+	stale.Release()
+	if snap := r.Snapshot(); snap[0].Inflight != 1 {
+		t.Fatalf("stale release drained the new incarnation: inflight = %d, want 1", snap[0].Inflight)
+	}
+	fresh.Release()
+	if snap := r.Snapshot(); snap[0].Inflight != 0 {
+		t.Fatalf("matching release did not free the slot: inflight = %d", snap[0].Inflight)
+	}
+}
+
+// TestSnapshotSorted: the public view is sorted by id with live load.
+func TestSnapshotSorted(t *testing.T) {
+	clock := newFakeClock()
+	r := testRegistry(clock)
+	r.Upsert(RegisterRequest{ID: "w-b", URL: "http://b", Capacity: 3})
+	r.Upsert(RegisterRequest{ID: "w-a", URL: "http://a", Capacity: 0}) // clamped to 1
+	mustAcquire(t, r)                                                  // w-a (least loaded, smallest id)
+
+	snap := r.Snapshot()
+	if len(snap) != 2 || snap[0].ID != "w-a" || snap[1].ID != "w-b" {
+		t.Fatalf("snapshot order = %+v, want [w-a w-b]", snap)
+	}
+	if snap[0].Capacity != 1 {
+		t.Fatalf("capacity 0 should clamp to 1, got %d", snap[0].Capacity)
+	}
+	if snap[0].Inflight != 1 || snap[1].Inflight != 0 {
+		t.Fatalf("inflight = %d/%d, want 1/0", snap[0].Inflight, snap[1].Inflight)
+	}
+}

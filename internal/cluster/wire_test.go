@@ -1,0 +1,82 @@
+package cluster
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func validExecuteJSON() string {
+	return `{"job_id":"job-000001","batch":0,"configs":[` +
+		`{"index":0,"spec":{"Benchmark":"gcm_n13"}},` +
+		`{"index":2,"spec":{"Benchmark":"qft_n18"}}]}`
+}
+
+func TestDecodeExecuteRequestValid(t *testing.T) {
+	req, err := DecodeExecuteRequest(strings.NewReader(validExecuteJSON()))
+	if err != nil {
+		t.Fatalf("decode valid request: %v", err)
+	}
+	if req.JobID != "job-000001" || len(req.Configs) != 2 || req.Configs[1].Index != 2 {
+		t.Fatalf("decoded request = %+v", req)
+	}
+}
+
+func TestDecodeExecuteRequestRejects(t *testing.T) {
+	huge := `{"job_id":"j","batch":0,"configs":[` +
+		strings.Repeat(`{"index":0,"spec":{}},`, MaxBatchConfigs) +
+		`{"index":1,"spec":{}}]}`
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"empty body", ""},
+		{"not json", "batch batch batch"},
+		{"trailing data", validExecuteJSON() + `{"job_id":"x"}`},
+		{"unknown field", `{"job_id":"j","surprise":1,"configs":[{"index":0,"spec":{}}]}`},
+		{"missing job id", `{"batch":0,"configs":[{"index":0,"spec":{}}]}`},
+		{"negative batch", `{"job_id":"j","batch":-1,"configs":[{"index":0,"spec":{}}]}`},
+		{"empty batch", `{"job_id":"j","batch":0,"configs":[]}`},
+		{"negative index", `{"job_id":"j","configs":[{"index":-1,"spec":{}}]}`},
+		{"non-increasing indices", `{"job_id":"j","configs":[{"index":1,"spec":{}},{"index":1,"spec":{}}]}`},
+		{"empty spec", `{"job_id":"j","configs":[{"index":0}]}`},
+		{"oversized batch", huge},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := DecodeExecuteRequest(strings.NewReader(tc.body)); err == nil {
+				t.Fatalf("decode accepted %s", tc.name)
+			}
+		})
+	}
+}
+
+// TestExecuteRequestRoundTrip: an encoded request decodes back to itself,
+// so the coordinator's marshal and the worker's strict decoder agree.
+func TestExecuteRequestRoundTrip(t *testing.T) {
+	in := ExecuteRequest{
+		JobID: "job-000042",
+		Batch: 3,
+		Configs: []ExecuteConfig{
+			{Index: 4, Spec: json.RawMessage(`{"Benchmark":"gcm_n13","Opts":{"runs":1}}`)},
+			{Index: 7, Spec: json.RawMessage(`{"Experiment":"fig10","Quick":true}`)},
+		},
+	}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	out, err := DecodeExecuteRequest(strings.NewReader(string(data)))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if out.JobID != in.JobID || out.Batch != in.Batch || len(out.Configs) != 2 {
+		t.Fatalf("round trip mismatch: %+v", out)
+	}
+	for i := range in.Configs {
+		if out.Configs[i].Index != in.Configs[i].Index ||
+			string(out.Configs[i].Spec) != string(in.Configs[i].Spec) {
+			t.Fatalf("config %d mismatch: %+v vs %+v", i, out.Configs[i], in.Configs[i])
+		}
+	}
+}

@@ -48,6 +48,10 @@ type Daemon struct {
 	// beyond it are shed with 429 + Retry-After instead of queueing
 	// unboundedly. 0 means the default 4096; negative disables shedding.
 	MaxQueueDepth int `json:"max_queue_depth,omitempty"`
+	// Cluster configures coordinator/worker scale-out (see Cluster). The
+	// zero value is standalone: single-node, byte-identical to pre-cluster
+	// behavior.
+	Cluster Cluster `json:"cluster"`
 }
 
 // WithDefaults fills unset daemon fields.
@@ -67,6 +71,7 @@ func (d Daemon) WithDefaults() Daemon {
 	if d.MaxQueueDepth == 0 {
 		d.MaxQueueDepth = 4096
 	}
+	d.Cluster = d.Cluster.WithDefaults()
 	return d
 }
 
@@ -94,7 +99,7 @@ func (d Daemon) Validate() error {
 		return fmt.Errorf("config: unknown layout %q (registered: %s)",
 			d.Layout, strings.Join(lattice.Layouts(), ", "))
 	}
-	return nil
+	return d.Cluster.Validate()
 }
 
 // LoadDaemon reads and validates a daemon config file.

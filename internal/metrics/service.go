@@ -30,6 +30,13 @@ type ServiceStats struct {
 	ReplayedResults atomic.Int64 // completed configurations replayed from the WAL
 	StoreErrors     atomic.Int64 // WAL append/close failures (durability degraded)
 
+	// Cluster counters (coordinator side; zero in standalone mode).
+	BatchesDispatched   atomic.Int64 // batches POSTed to workers
+	BatchesRedispatched atomic.Int64 // batches re-dispatched after a worker died or errored
+	RemoteConfigs       atomic.Int64 // configurations whose results came back from a worker
+	HeartbeatsReceived  atomic.Int64 // register/heartbeat POSTs accepted
+	WorkerExpiries      atomic.Int64 // workers expired by the liveness sweeper
+
 	mu      sync.Mutex
 	latency *Histogram // completed-job latency in milliseconds
 }
@@ -78,9 +85,16 @@ type Snapshot struct {
 	ReplayedJobs    int64 `json:"replayed_jobs"`
 	ReplayedResults int64 `json:"replayed_results"`
 	StoreErrors     int64 `json:"store_errors"`
-	LatencyCount    int64 `json:"latency_count"`
-	LatencyP50ms    int64 `json:"latency_p50_ms"`
-	LatencyP99ms    int64 `json:"latency_p99_ms"`
+
+	BatchesDispatched   int64 `json:"batches_dispatched"`
+	BatchesRedispatched int64 `json:"batches_redispatched"`
+	RemoteConfigs       int64 `json:"remote_configs"`
+	HeartbeatsReceived  int64 `json:"heartbeats_received"`
+	WorkerExpiries      int64 `json:"worker_expiries"`
+
+	LatencyCount int64 `json:"latency_count"`
+	LatencyP50ms int64 `json:"latency_p50_ms"`
+	LatencyP99ms int64 `json:"latency_p99_ms"`
 }
 
 // Snapshot captures the current counter values.
@@ -104,9 +118,16 @@ func (s *ServiceStats) Snapshot() Snapshot {
 		ReplayedJobs:    s.ReplayedJobs.Load(),
 		ReplayedResults: s.ReplayedResults.Load(),
 		StoreErrors:     s.StoreErrors.Load(),
-		LatencyCount:    int64(n),
-		LatencyP50ms:    int64(p50),
-		LatencyP99ms:    int64(p99),
+
+		BatchesDispatched:   s.BatchesDispatched.Load(),
+		BatchesRedispatched: s.BatchesRedispatched.Load(),
+		RemoteConfigs:       s.RemoteConfigs.Load(),
+		HeartbeatsReceived:  s.HeartbeatsReceived.Load(),
+		WorkerExpiries:      s.WorkerExpiries.Load(),
+
+		LatencyCount: int64(n),
+		LatencyP50ms: int64(p50),
+		LatencyP99ms: int64(p99),
 	}
 }
 
@@ -136,6 +157,11 @@ func (s Snapshot) RenderProm(prefix string) string {
 	counter("replayed_jobs_total", "Jobs reconstructed from the WAL at startup.", s.ReplayedJobs)
 	counter("replayed_results_total", "Completed configurations replayed from the WAL.", s.ReplayedResults)
 	counter("store_errors_total", "WAL append/close failures.", s.StoreErrors)
+	counter("cluster_batches_dispatched_total", "Batches dispatched to cluster workers.", s.BatchesDispatched)
+	counter("cluster_batches_redispatched_total", "Batches re-dispatched after a worker died or errored.", s.BatchesRedispatched)
+	counter("cluster_remote_configs_total", "Configurations executed by cluster workers.", s.RemoteConfigs)
+	counter("cluster_heartbeats_total", "Worker register/heartbeat requests accepted.", s.HeartbeatsReceived)
+	counter("cluster_worker_expiries_total", "Workers expired by the liveness sweeper.", s.WorkerExpiries)
 	counter("job_latency_observations_total", "Completed jobs with recorded latency.", s.LatencyCount)
 	fmt.Fprintf(&sb, "# HELP %s_job_latency_ms Completed-job latency quantiles in milliseconds.\n# TYPE %s_job_latency_ms summary\n", prefix, prefix)
 	fmt.Fprintf(&sb, "%s_job_latency_ms{quantile=\"0.5\"} %d\n", prefix, s.LatencyP50ms)

@@ -66,9 +66,19 @@ func TestSnapshotRenderProm(t *testing.T) {
 	s.Coalesced.Add(4)
 	s.ReplayedJobs.Add(1)
 	s.ReplayedResults.Add(7)
+	s.BatchesDispatched.Add(6)
+	s.BatchesRedispatched.Add(2)
+	s.RemoteConfigs.Add(24)
+	s.HeartbeatsReceived.Add(9)
+	s.WorkerExpiries.Add(1)
 	s.ObserveLatency(40 * time.Millisecond)
 	text := s.Snapshot().RenderProm("rescqd")
 	for _, want := range []string{
+		"rescqd_cluster_batches_dispatched_total 6",
+		"rescqd_cluster_batches_redispatched_total 2",
+		"rescqd_cluster_remote_configs_total 24",
+		"rescqd_cluster_heartbeats_total 9",
+		"rescqd_cluster_worker_expiries_total 1",
 		"# TYPE rescqd_jobs_done_total counter",
 		"rescqd_jobs_done_total 5",
 		"rescqd_cache_hits_total 2",
@@ -94,11 +104,13 @@ func TestSnapshotJSONCarriesDurabilityCounters(t *testing.T) {
 	s.JobsShed.Add(2)
 	s.Coalesced.Add(3)
 	s.ReplayedJobs.Add(1)
+	s.BatchesRedispatched.Add(4)
 	data, err := json.Marshal(s.Snapshot())
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{`"jobs_shed":2`, `"coalesced":3`, `"replayed_jobs":1`, `"replayed_results":0`, `"store_errors":0`} {
+	for _, want := range []string{`"jobs_shed":2`, `"coalesced":3`, `"replayed_jobs":1`, `"replayed_results":0`, `"store_errors":0`,
+		`"batches_dispatched":0`, `"batches_redispatched":4`, `"remote_configs":0`, `"heartbeats_received":0`, `"worker_expiries":0`} {
 		if !strings.Contains(string(data), want) {
 			t.Errorf("snapshot JSON missing %s:\n%s", want, data)
 		}

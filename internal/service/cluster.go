@@ -1,0 +1,378 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/config"
+)
+
+// This file wires the horizontal scale-out layer (internal/cluster) into
+// the server. In coordinator mode the public API, WAL, admission control
+// and result cache stay exactly as in standalone mode, but a job's
+// configurations are sharded into batches and dispatched over HTTP to
+// registered workers: least-loaded worker first (ties broken by smallest
+// worker id), at most one batch per free worker slot, batches from dead
+// workers re-dispatched to survivors, and every returned configuration
+// checkpointed to the WAL in index order — so streaming, resume and
+// kill-restart semantics are byte-identical to a standalone run. With no
+// live workers the coordinator falls back to its local pool. In worker
+// mode the daemon serves POST /internal/v1/execute and keeps itself
+// registered with the coordinator via heartbeats.
+
+// clusterState holds a clustered server's scale-out machinery; nil on a
+// standalone server.
+type clusterState struct {
+	cfg      config.Cluster
+	registry *cluster.Registry // coordinator only
+	client   *cluster.Client   // coordinator only
+}
+
+// newClusterState builds the mode-appropriate cluster machinery.
+func newClusterState(cfg config.Cluster) *clusterState {
+	if !cfg.Clustered() {
+		return nil
+	}
+	cs := &clusterState{cfg: cfg}
+	if cfg.Mode == config.ModeCoordinator {
+		cs.registry = cluster.NewRegistry()
+		cs.client = cluster.NewClient(nil)
+	}
+	return cs
+}
+
+// ClusterWorkers returns the coordinator's current worker view (empty
+// snapshot and false on non-coordinators), for /healthz, /metrics and
+// tests.
+func (s *Server) ClusterWorkers() ([]cluster.WorkerInfo, bool) {
+	if s.clust == nil || s.clust.registry == nil {
+		return nil, false
+	}
+	return s.clust.registry.Snapshot(), true
+}
+
+// expirySweeper evicts workers that missed their liveness window. It runs
+// on the coordinator at the heartbeat cadence until baseCtx ends.
+func (s *Server) expirySweeper() {
+	t := time.NewTicker(s.clust.cfg.HeartbeatInterval())
+	defer t.Stop()
+	for {
+		select {
+		case <-s.baseCtx.Done():
+			return
+		case <-t.C:
+			expired := s.clust.registry.ExpireDead(s.clust.cfg.LivenessExpiry())
+			s.stats.WorkerExpiries.Add(int64(len(expired)))
+		}
+	}
+}
+
+// handleRegister is the coordinator's membership endpoint: a worker's
+// first POST registers it, every subsequent POST is a heartbeat renewing
+// its liveness lease.
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req cluster.RegisterRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.ID == "" || req.URL == "" {
+		writeError(w, http.StatusBadRequest, errors.New("service: register needs id and url"))
+		return
+	}
+	s.clust.registry.Upsert(req)
+	s.stats.HeartbeatsReceived.Add(1)
+	writeJSON(w, http.StatusOK, cluster.RegisterResponse{
+		ExpiresInMS: s.clust.cfg.LivenessExpiry().Milliseconds(),
+		Workers:     s.clust.registry.Len(),
+	})
+}
+
+// handleExecute is the worker's dispatch endpoint: it decodes a batch of
+// run specifications (strictly — this is the worker's trust boundary),
+// executes them in order on the request goroutine, and returns one result
+// per configuration. Batch concurrency is the coordinator's job (one
+// in-flight batch per acquired worker slot); within a batch,
+// configurations run sequentially like a standalone sweep.
+func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
+	req, err := cluster.DecodeExecuteRequest(http.MaxBytesReader(w, r.Body, cluster.MaxExecuteBody))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	specs := make([]runSpec, len(req.Configs))
+	for i, c := range req.Configs {
+		if err := json.Unmarshal(c.Spec, &specs[i]); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("service: bad spec %d: %w", i, err))
+			return
+		}
+	}
+	resp := cluster.ExecuteResponse{Results: make([]json.RawMessage, 0, len(specs))}
+	for i, spec := range specs {
+		if r.Context().Err() != nil {
+			// The coordinator hung up (job cancelled, or it re-dispatched
+			// after deciding this worker is dead); stop burning engine time.
+			return
+		}
+		res := s.runOne(r.Context(), spec)
+		res.Index = req.Configs[i].Index
+		data, err := json.Marshal(res)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, fmt.Errorf("service: encode result %d: %w", i, err))
+			return
+		}
+		resp.Results = append(resp.Results, data)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// dispatchable reports whether a job should go through the sharded
+// cluster path: coordinator mode with at least one live worker. Evaluated
+// per job, so a coordinator whose workers all died simply falls back to
+// its local pool for the next job.
+func (s *Server) dispatchable() bool {
+	return s.clust != nil && s.clust.registry != nil && s.clust.registry.Len() > 0
+}
+
+// sequencer releases out-of-order batch results in strict index order:
+// results are buffered until their index is next, then appended to the
+// job, checkpointed to the WAL, and published to the events stream —
+// exactly the order a standalone run produces, which is what keeps
+// streaming output, resume prefixes and the WAL byte-identical across the
+// two paths.
+type sequencer struct {
+	mu    sync.Mutex
+	s     *Server
+	j     *Job
+	next  int
+	ready map[int]ConfigResult
+}
+
+func (q *sequencer) deliver(idx int, res ConfigResult) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.ready[idx] = res
+	for {
+		r, ok := q.ready[q.next]
+		if !ok {
+			return
+		}
+		delete(q.ready, q.next)
+		q.j.mu.Lock()
+		q.j.results = append(q.j.results, r)
+		q.j.mu.Unlock()
+		q.s.persistResult(q.j, q.j.specs[q.next], r)
+		q.j.events <- r // buffered to len(specs): never blocks
+		q.s.pending.Add(-1)
+		q.next++
+	}
+}
+
+// maxBatchRedispatch bounds how many times one batch chases failing
+// workers before the coordinator gives up on remote execution and runs it
+// locally — a persistent poison batch (or a registry full of half-dead
+// workers) must make progress, not loop.
+const maxBatchRedispatch = 4
+
+// executeSharded runs a job's unfinished configurations through the
+// cluster: coordinator-cache hits are served inline, the misses are packed
+// into index-ordered batches and dispatched concurrently to the
+// least-loaded live workers. Returns whether the job was cancelled.
+func (s *Server) executeSharded(j *Job, startIdx int) (cancelled bool) {
+	seq := &sequencer{s: s, j: j, next: startIdx, ready: make(map[int]ConfigResult)}
+
+	// Prepass: serve coordinator-cache hits without dispatching, pack the
+	// rest into batches. Misses are NOT counted here — the engine run (and
+	// its hit/miss accounting) happens wherever the configuration lands.
+	// The sharded path does not consult the in-flight coalescing table:
+	// cross-job duplicate configurations dispatched concurrently can
+	// compute twice (once per worker). The waste is bounded — every remote
+	// result re-seeds the coordinator cache the moment it lands, so a
+	// second identical job only duplicates the configurations still in
+	// flight, and deterministic simulations make the duplicates harmless.
+	batchSize := s.clust.cfg.BatchSize
+	var batches [][]int
+	var cur []int
+	for i := startIdx; i < len(j.specs); i++ {
+		spec := j.specs[i]
+		if s.cache != nil {
+			if v, ok := s.cache.get(specKey(spec)); ok && cacheUsable(v, spec) {
+				s.stats.CacheHits.Add(1)
+				res := newConfigResult(spec)
+				res.Index = i
+				res.Cached = true
+				fillResult(&res, spec, v)
+				seq.deliver(i, res)
+				continue
+			}
+		}
+		cur = append(cur, i)
+		if len(cur) == batchSize {
+			batches = append(batches, cur)
+			cur = nil
+		}
+	}
+	if len(cur) > 0 {
+		batches = append(batches, cur)
+	}
+
+	var wg sync.WaitGroup
+	for bi, idxs := range batches {
+		wg.Add(1)
+		go func(bi int, idxs []int) {
+			defer wg.Done()
+			s.dispatchBatch(j, bi, idxs, seq)
+		}(bi, idxs)
+	}
+	wg.Wait()
+	return j.ctx.Err() != nil
+}
+
+// buildExecuteRequest marshals one batch's specs into the wire form.
+func buildExecuteRequest(j *Job, bi int, idxs []int) (cluster.ExecuteRequest, error) {
+	req := cluster.ExecuteRequest{JobID: j.ID, Batch: bi, Configs: make([]cluster.ExecuteConfig, len(idxs))}
+	for k, idx := range idxs {
+		data, err := json.Marshal(j.specs[idx])
+		if err != nil {
+			return req, err
+		}
+		req.Configs[k] = cluster.ExecuteConfig{Index: idx, Spec: data}
+	}
+	return req, nil
+}
+
+// dispatchBatch drives one batch to completion: acquire the least-loaded
+// worker slot, POST the batch, deliver its results. A dead or failing
+// worker is removed from the registry and the batch re-dispatched to a
+// survivor; with no live workers (or after too many re-dispatches) the
+// batch runs on the coordinator's local pool. Cancellation of the job
+// abandons the batch (the job's final accounting releases its backlog).
+func (s *Server) dispatchBatch(j *Job, bi int, idxs []int, seq *sequencer) {
+	ctx := j.ctx
+	req, err := buildExecuteRequest(j, bi, idxs)
+	if err != nil {
+		s.runBatchLocally(ctx, j, idxs, seq) // marshal failure: engine still works
+		return
+	}
+	for attempt := 0; ; attempt++ {
+		if ctx.Err() != nil {
+			return
+		}
+		if attempt > maxBatchRedispatch {
+			s.runBatchLocally(ctx, j, idxs, seq)
+			return
+		}
+		lease, err := s.clust.registry.Acquire(ctx)
+		if errors.Is(err, cluster.ErrNoWorkers) {
+			s.runBatchLocally(ctx, j, idxs, seq)
+			return
+		}
+		if err != nil {
+			return // job cancelled while waiting for a slot
+		}
+		resp, err := s.executeOnWorker(ctx, lease, req)
+		lease.Release()
+		if err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			// The worker is observably broken (connection reset by a
+			// SIGKILL, a timeout, garbage results): drop it from the
+			// registry — a live worker re-registers on its next heartbeat —
+			// and send the batch to a survivor.
+			s.clust.registry.Remove(lease.ID)
+			s.stats.BatchesRedispatched.Add(1)
+			continue
+		}
+		delivered := 0
+		for k, raw := range resp.Results {
+			idx := idxs[k]
+			var res ConfigResult
+			if err := json.Unmarshal(raw, &res); err != nil {
+				// Treat undecodable results like a failed batch.
+				s.clust.registry.Remove(lease.ID)
+				s.stats.BatchesRedispatched.Add(1)
+				break
+			}
+			res.Index = idx // the coordinator's index is authoritative
+			s.cacheRemoteResult(j.specs[idx], res)
+			s.stats.RemoteConfigs.Add(1)
+			seq.deliver(idx, res)
+			delivered++
+		}
+		if delivered == len(idxs) {
+			return // whole batch delivered
+		}
+		// A partial decode re-dispatches only the undelivered tail: the
+		// sequencer has already released the decoded prefix, and re-sending
+		// a released index would append its result a second time.
+		idxs = idxs[delivered:]
+		req, err = buildExecuteRequest(j, bi, idxs)
+		if err != nil {
+			s.runBatchLocally(ctx, j, idxs, seq)
+			return
+		}
+	}
+}
+
+// executeOnWorker POSTs one batch, aborting the call the moment the
+// worker is removed from the registry (liveness expiry fires while the
+// socket is still nominally open) so the batch can be re-dispatched
+// without waiting on a dead peer.
+func (s *Server) executeOnWorker(ctx context.Context, lease cluster.Lease, req cluster.ExecuteRequest) (cluster.ExecuteResponse, error) {
+	callCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-lease.Gone:
+			cancel()
+		case <-done:
+		}
+	}()
+	s.stats.BatchesDispatched.Add(1)
+	return s.clust.client.Execute(callCtx, lease.URL, req)
+}
+
+// runBatchLocally is the no-live-workers fallback: the coordinator's own
+// pool executes the batch, with standalone semantics (runOne re-checks
+// the cache, counts hits/misses/engine runs).
+func (s *Server) runBatchLocally(ctx context.Context, j *Job, idxs []int, seq *sequencer) {
+	for _, idx := range idxs {
+		if ctx.Err() != nil {
+			return
+		}
+		res := s.runOne(ctx, j.specs[idx])
+		res.Index = idx
+		if res.Error != "" && ctx.Err() != nil {
+			return // aborted mid-run by cancellation: discard the partial result
+		}
+		seq.deliver(idx, res)
+	}
+}
+
+// cacheRemoteResult re-seeds the coordinator cache from a worker-computed
+// result. Workers strip latency arrays unless the spec kept them, so a
+// stripped summary is cached as partialSummary — an include_latencies
+// request later recomputes, exactly like a WAL-reseeded entry.
+func (s *Server) cacheRemoteResult(spec runSpec, res ConfigResult) {
+	if s.cache == nil || res.Error != "" {
+		return
+	}
+	key := specKey(spec)
+	switch {
+	case res.Report != "":
+		s.cache.put(key, res.Report)
+	case res.Summary != nil && spec.KeepLatencies:
+		s.cache.put(key, *res.Summary)
+	case res.Summary != nil:
+		s.cache.put(key, partialSummary{sum: *res.Summary})
+	}
+}

@@ -1,0 +1,411 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	rescq "repro"
+	"repro/internal/cluster"
+	"repro/internal/config"
+	"repro/internal/store"
+)
+
+// clusterNode is one in-process cluster member: a service.Server behind a
+// real HTTP listener, plus (for workers) the heartbeat loop keeping it
+// registered with the coordinator.
+type clusterNode struct {
+	srv  *Server
+	ts   *httptest.Server
+	stop context.CancelFunc // heartbeater; nil on the coordinator
+}
+
+// startCoordinator boots a coordinator node (optionally durable).
+func startCoordinator(t *testing.T, storeDir string) *clusterNode {
+	t.Helper()
+	cfg := config.Daemon{
+		Workers: 2,
+		Cluster: config.Cluster{
+			Mode:                config.ModeCoordinator,
+			HeartbeatIntervalMS: 50,
+			LivenessExpiryMS:    200,
+			BatchSize:           3,
+		},
+	}.WithDefaults()
+	s := New(cfg, nil)
+	if storeDir != "" {
+		if _, err := s.AttachStore(storeDir); err != nil {
+			t.Fatalf("AttachStore: %v", err)
+		}
+	}
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	n := &clusterNode{srv: s, ts: ts}
+	t.Cleanup(func() { n.shutdown(t) })
+	return n
+}
+
+// startWorker boots a worker node with the given runner and keeps it
+// heartbeating against the coordinator.
+func startWorker(t *testing.T, coordURL string, runner Runner) *clusterNode {
+	t.Helper()
+	cfg := config.Daemon{
+		Workers: 1,
+		Cluster: config.Cluster{
+			Mode:                config.ModeWorker,
+			CoordinatorURL:      coordURL,
+			HeartbeatIntervalMS: 50,
+		},
+	}.WithDefaults()
+	s := New(cfg, runner)
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	ctx, cancel := context.WithCancel(context.Background())
+	hb := &cluster.Heartbeater{
+		Client:         cluster.NewClient(nil),
+		CoordinatorURL: coordURL,
+		Self:           cluster.RegisterRequest{ID: ts.URL, URL: ts.URL, Capacity: 1},
+		Interval:       cfg.Cluster.HeartbeatInterval(),
+	}
+	go hb.Run(ctx)
+	n := &clusterNode{srv: s, ts: ts, stop: cancel}
+	t.Cleanup(func() { n.shutdown(t) })
+	return n
+}
+
+func (n *clusterNode) shutdown(t *testing.T) {
+	if n.stop != nil {
+		n.stop()
+		n.stop = nil
+	}
+	n.ts.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	n.srv.Shutdown(ctx)
+}
+
+// kill hard-kills a worker node, in-process style: heartbeats stop and
+// every open connection is severed mid-flight, exactly what the
+// coordinator observes when the worker process is SIGKILLed.
+func (n *clusterNode) kill() {
+	if n.stop != nil {
+		n.stop()
+		n.stop = nil
+	}
+	n.ts.CloseClientConnections()
+}
+
+func waitForWorkers(t *testing.T, coord *clusterNode, want int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if ws, _ := coord.srv.ClusterWorkers(); len(ws) == want {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	ws, _ := coord.srv.ClusterWorkers()
+	t.Fatalf("coordinator sees %d workers, want %d", len(ws), want)
+}
+
+// chaosSweep is the kill-mid-sweep workload: 2 benchmarks x 3 schedulers
+// x 2 distances x 2 physical error rates = 24 distinct configurations.
+var chaosSweep = SweepRequest{
+	Benchmarks: []string{"vqe_n13", "qft_n18"},
+	Schedulers: []string{"greedy", "autobraid", "rescq"},
+	Distances:  []int{3, 5},
+	PhysErrors: []float64{1e-4, 1e-3},
+	Runs:       1,
+	Async:      true,
+}
+
+// victimRunner never completes a configuration: it signals the first call
+// and then blocks until the request context dies (which is what a real
+// engine run does when its worker process is killed mid-simulation).
+type victimRunner struct {
+	once    sync.Once
+	started chan struct{}
+}
+
+func (v *victimRunner) stall(ctx context.Context) error {
+	v.once.Do(func() { close(v.started) })
+	<-ctx.Done()
+	return fmt.Errorf("worker killed mid-run: %w", ctx.Err())
+}
+
+func (v *victimRunner) Run(ctx context.Context, bench string, opts rescq.Options) (rescq.Summary, error) {
+	return rescq.Summary{}, v.stall(ctx)
+}
+
+func (v *victimRunner) RunCircuitText(ctx context.Context, name, text string, opts rescq.Options) (rescq.Summary, error) {
+	return rescq.Summary{}, v.stall(ctx)
+}
+
+func (v *victimRunner) Experiment(ctx context.Context, id string, quick bool) (string, error) {
+	return "", v.stall(ctx)
+}
+
+// normalizeResults strips the volatile fields (cached) so cluster and
+// standalone result sets can be compared byte-for-byte.
+func normalizeResults(t *testing.T, results []ConfigResult) []byte {
+	t.Helper()
+	out := make([]ConfigResult, len(results))
+	copy(out, results)
+	for i := range out {
+		out[i].Cached = false
+	}
+	data, err := json.MarshalIndent(out, "", " ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestClusterKillWorkerMidSweep is the scale-out acceptance test: one
+// coordinator, three workers, a 24-configuration sweep, and one worker
+// hard-killed while it holds a batch. The sweep must complete with every
+// configuration byte-identical to a standalone run (modulo the cached
+// flag), the dead worker's batch must observably re-dispatch to a
+// survivor, and the coordinator's WAL must hold the full result sequence
+// in index order.
+func TestClusterKillWorkerMidSweep(t *testing.T) {
+	storeDir := t.TempDir()
+	coord := startCoordinator(t, storeDir)
+
+	victim := &victimRunner{started: make(chan struct{})}
+	w1 := startWorker(t, coord.ts.URL, nil) // real engine
+	w2 := startWorker(t, coord.ts.URL, victim)
+	w3 := startWorker(t, coord.ts.URL, nil) // real engine
+	_, _ = w1, w3
+	waitForWorkers(t, coord, 3)
+
+	// Submit the sweep; the victim stalls the first batch it receives.
+	resp := postJSON(t, coord.ts.URL+"/v1/sweep", chaosSweep)
+	accepted := decode[JobView](t, resp)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("sweep submit: %d", resp.StatusCode)
+	}
+
+	select {
+	case <-victim.started:
+	case <-time.After(10 * time.Second):
+		t.Fatal("victim worker never received a batch")
+	}
+	w2.kill() // SIGKILL-equivalent: heartbeats stop, connections sever
+
+	view := waitForJob(t, coord.ts.URL, accepted.ID)
+	if view.State != JobDone {
+		t.Fatalf("sweep finished %s (%s), want done", view.State, view.Error)
+	}
+	if view.Progress.Done != 24 || view.Progress.Total != 24 {
+		t.Fatalf("progress = %+v, want 24/24", view.Progress)
+	}
+	if n := coord.srv.Stats().BatchesRedispatched.Load(); n == 0 {
+		t.Fatal("dead worker's batch was never re-dispatched (counter is 0)")
+	}
+	if n := coord.srv.Stats().RemoteConfigs.Load(); n == 0 {
+		t.Fatal("no configuration was executed remotely")
+	}
+
+	// Fetch the completed results from the coordinator.
+	full := decode[JobView](t, get(t, coord.ts.URL+"/v1/jobs/"+accepted.ID))
+	gotJSON := normalizeResults(t, full.Results)
+
+	// The same sweep on a standalone daemon must produce byte-identical
+	// results.
+	standalone, ts := newTestServer(t, config.Daemon{Workers: 2}, nil)
+	_ = standalone
+	req := chaosSweep
+	req.Async = false
+	sView := decode[JobView](t, postJSON(t, ts.URL+"/v1/sweep", req))
+	wantJSON := normalizeResults(t, sView.Results)
+	if !bytes.Equal(gotJSON, wantJSON) {
+		t.Fatalf("cluster sweep differs from standalone run:\ncluster:\n%s\nstandalone:\n%s", gotJSON, wantJSON)
+	}
+
+	// Re-submitting the sweep hits the coordinator cache for every
+	// configuration: no new dispatches, every result flagged cached.
+	dispatchedBefore := coord.srv.Stats().BatchesDispatched.Load()
+	req2 := chaosSweep
+	req2.Async = false
+	second := decode[JobView](t, postJSON(t, coord.ts.URL+"/v1/sweep", req2))
+	if len(second.Results) != 24 {
+		t.Fatalf("second sweep returned %d results", len(second.Results))
+	}
+	for _, r := range second.Results {
+		if !r.Cached {
+			t.Fatalf("second sweep config %d not served from cache", r.Index)
+		}
+	}
+	if after := coord.srv.Stats().BatchesDispatched.Load(); after != dispatchedBefore {
+		t.Fatalf("cached sweep dispatched %d new batches", after-dispatchedBefore)
+	}
+
+	// The WAL holds the job with all 24 results in index order, so a
+	// kill-restart of the coordinator would resume/replay it byte-identically.
+	coord.shutdown(t)
+	st, err := store.Open(storeDir, store.Options{})
+	if err != nil {
+		t.Fatalf("reopen store: %v", err)
+	}
+	defer st.Close()
+	var found bool
+	for _, rj := range st.Replayed() {
+		if rj.Job.ID != accepted.ID {
+			continue
+		}
+		found = true
+		if rj.State != string(JobDone) {
+			t.Fatalf("WAL state = %q, want done", rj.State)
+		}
+		if len(rj.Results) != 24 {
+			t.Fatalf("WAL holds %d results, want 24", len(rj.Results))
+		}
+		for i, rr := range rj.Results {
+			if rr.Index != i {
+				t.Fatalf("WAL result %d has index %d (not in order)", i, rr.Index)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("job %s not found in WAL", accepted.ID)
+	}
+}
+
+// TestClusterFallbackWithoutWorkers: a coordinator with no registered
+// workers behaves exactly like a standalone daemon (local pool fallback).
+func TestClusterFallbackWithoutWorkers(t *testing.T) {
+	coord := startCoordinator(t, "")
+	req := chaosSweep
+	req.Benchmarks = []string{"vqe_n13"}
+	req.Async = false
+	view := decode[JobView](t, postJSON(t, coord.ts.URL+"/v1/sweep", req))
+	if view.State != JobDone || len(view.Results) != 12 {
+		t.Fatalf("fallback sweep: state=%s results=%d, want done/12", view.State, len(view.Results))
+	}
+	if n := coord.srv.Stats().BatchesDispatched.Load(); n != 0 {
+		t.Fatalf("workerless coordinator dispatched %d batches", n)
+	}
+	if n := coord.srv.Stats().EngineRuns.Load(); n == 0 {
+		t.Fatal("fallback never ran the local engine")
+	}
+}
+
+// TestClusterWorkerExpiry: a worker that stops heartbeating is expired by
+// the liveness sweeper and disappears from /healthz.
+func TestClusterWorkerExpiry(t *testing.T) {
+	coord := startCoordinator(t, "")
+	client := cluster.NewClient(nil)
+	resp, err := client.Register(context.Background(), coord.ts.URL,
+		cluster.RegisterRequest{ID: "w-ghost", URL: "http://127.0.0.1:1", Capacity: 1})
+	if err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	if resp.Workers != 1 || resp.ExpiresInMS != 200 {
+		t.Fatalf("register response = %+v", resp)
+	}
+	waitForWorkers(t, coord, 1)
+	waitForWorkers(t, coord, 0) // never heartbeats again: expired
+	if n := coord.srv.Stats().WorkerExpiries.Load(); n == 0 {
+		t.Fatal("expiry counter is 0 after a worker was expired")
+	}
+	health := decode[healthBody](t, get(t, coord.ts.URL+"/healthz"))
+	if health.Cluster == nil || health.Cluster.Mode != config.ModeCoordinator {
+		t.Fatalf("healthz cluster section = %+v", health.Cluster)
+	}
+	if health.Cluster.WorkerExpiries == 0 || health.Cluster.LiveWorkers != 0 {
+		t.Fatalf("healthz cluster counters = %+v", health.Cluster)
+	}
+}
+
+// TestWorkerExecuteEndpoint covers the worker-side dispatch surface
+// directly: a valid batch executes in order, malformed batches are 400s.
+func TestWorkerExecuteEndpoint(t *testing.T) {
+	runner := &countingRunner{}
+	cfg := config.Daemon{
+		Workers: 1,
+		Cluster: config.Cluster{Mode: config.ModeWorker, CoordinatorURL: "http://unused:1"},
+	}.WithDefaults()
+	s := New(cfg, runner)
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	})
+
+	specs := []runSpec{
+		{Benchmark: "gcm_n13", Opts: rescq.Options{Runs: 1}},
+		{Benchmark: "qft_n18", Opts: rescq.Options{Runs: 1}},
+	}
+	req := cluster.ExecuteRequest{JobID: "job-000001", Configs: make([]cluster.ExecuteConfig, len(specs))}
+	for i, sp := range specs {
+		data, err := json.Marshal(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Configs[i] = cluster.ExecuteConfig{Index: i + 5, Spec: data}
+	}
+	resp := postJSON(t, ts.URL+cluster.ExecutePath, req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("execute: %d", resp.StatusCode)
+	}
+	out := decode[cluster.ExecuteResponse](t, resp)
+	if len(out.Results) != 2 {
+		t.Fatalf("execute returned %d results", len(out.Results))
+	}
+	for i, raw := range out.Results {
+		var res ConfigResult
+		if err := json.Unmarshal(raw, &res); err != nil {
+			t.Fatalf("result %d: %v", i, err)
+		}
+		if res.Index != i+5 || res.Summary == nil || res.Benchmark != specs[i].Benchmark {
+			t.Fatalf("result %d = %+v", i, res)
+		}
+	}
+	if runner.calls.Load() != 2 {
+		t.Fatalf("runner ran %d times, want 2", runner.calls.Load())
+	}
+
+	// Malformed batches never reach the engine.
+	for _, body := range []string{
+		``, `{`, `{"job_id":"j","configs":[]}`,
+		`{"job_id":"j","configs":[{"index":0,"spec":"not-a-spec"}]}`,
+	} {
+		r, err := http.Post(ts.URL+cluster.ExecutePath, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if r.StatusCode != http.StatusBadRequest {
+			t.Fatalf("body %q: status %d, want 400", body, r.StatusCode)
+		}
+	}
+
+	// A standalone daemon does not expose the internal endpoints at all.
+	sa, tsa := newTestServer(t, config.Daemon{}, &countingRunner{})
+	_ = sa
+	r := postJSON(t, tsa.URL+cluster.ExecutePath, req)
+	r.Body.Close()
+	if r.StatusCode != http.StatusNotFound {
+		t.Fatalf("standalone execute endpoint: %d, want 404", r.StatusCode)
+	}
+}
+
+func get(t *testing.T, url string) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	return resp
+}

@@ -10,6 +10,9 @@ import (
 	"time"
 
 	rescq "repro"
+	"repro/internal/cluster"
+	"repro/internal/config"
+	"repro/internal/store"
 )
 
 // RunRequest is the POST /v1/run payload. Exactly one of Benchmark,
@@ -120,6 +123,14 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/capabilities", s.handleCapabilities)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.clust != nil {
+		switch s.clust.cfg.Mode {
+		case config.ModeCoordinator:
+			mux.HandleFunc("POST "+cluster.RegisterPath, s.handleRegister)
+		case config.ModeWorker:
+			mux.HandleFunc("POST "+cluster.ExecutePath, s.handleExecute)
+		}
+	}
 	return mux
 }
 
@@ -343,7 +354,12 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	for _, j := range jobs {
 		views = append(views, s.jobView(j, false))
 	}
-	sort.Slice(views, func(a, b int) bool { return views[a].ID < views[b].ID })
+	// Sort by the numeric job counter, not the id string: the registry
+	// shards (and the WAL-replayed history inside them) iterate in map
+	// order, and plain string order misorders ids once the counter
+	// outgrows its zero padding — either way restart listings would not be
+	// deterministic.
+	sort.Slice(views, func(a, b int) bool { return store.JobIDLess(views[a].ID, views[b].ID) })
 	writeJSON(w, http.StatusOK, views)
 }
 
@@ -454,17 +470,35 @@ type storeHealth struct {
 	ReplayedResults int64 `json:"replayed_results"`
 }
 
+// clusterHealth is the /healthz scale-out section (present only in
+// coordinator or worker mode): the mode, the live worker membership with
+// per-worker load, and the dispatch counters in JSON form, mirroring
+// their Prometheus twins on /metrics.
+type clusterHealth struct {
+	Mode string `json:"mode"`
+	// LiveWorkers is never omitted: zero is exactly the value a monitor
+	// alerts on (a coordinator whose workers all died).
+	LiveWorkers         int                  `json:"live_workers"`
+	Workers             []cluster.WorkerInfo `json:"workers,omitempty"`
+	BatchesDispatched   int64                `json:"batches_dispatched"`
+	BatchesRedispatched int64                `json:"batches_redispatched"`
+	RemoteConfigs       int64                `json:"remote_configs"`
+	Heartbeats          int64                `json:"heartbeats"`
+	WorkerExpiries      int64                `json:"worker_expiries"`
+}
+
 type healthBody struct {
-	Status         string       `json:"status"`
-	UptimeSec      float64      `json:"uptime_sec"`
-	Draining       bool         `json:"draining"`
-	Workers        int          `json:"workers"`
-	Queued         int          `json:"queued"`
-	PendingConfigs int64        `json:"pending_configs"`
-	MaxQueueDepth  int          `json:"max_queue_depth,omitempty"`
-	CoalescedTotal int64        `json:"coalesced_total"`
-	ShedTotal      int64        `json:"shed_total"`
-	Store          *storeHealth `json:"store,omitempty"`
+	Status         string         `json:"status"`
+	UptimeSec      float64        `json:"uptime_sec"`
+	Draining       bool           `json:"draining"`
+	Workers        int            `json:"workers"`
+	Queued         int            `json:"queued"`
+	PendingConfigs int64          `json:"pending_configs"`
+	MaxQueueDepth  int            `json:"max_queue_depth,omitempty"`
+	CoalescedTotal int64          `json:"coalesced_total"`
+	ShedTotal      int64          `json:"shed_total"`
+	Store          *storeHealth   `json:"store,omitempty"`
+	Cluster        *clusterHealth `json:"cluster,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -488,6 +522,21 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			ReplayedJobs:    s.stats.ReplayedJobs.Load(),
 			ReplayedResults: s.stats.ReplayedResults.Load(),
 		}
+	}
+	if s.clust != nil {
+		ch := &clusterHealth{
+			Mode:                s.clust.cfg.Mode,
+			BatchesDispatched:   s.stats.BatchesDispatched.Load(),
+			BatchesRedispatched: s.stats.BatchesRedispatched.Load(),
+			RemoteConfigs:       s.stats.RemoteConfigs.Load(),
+			Heartbeats:          s.stats.HeartbeatsReceived.Load(),
+			WorkerExpiries:      s.stats.WorkerExpiries.Load(),
+		}
+		if ws, ok := s.ClusterWorkers(); ok {
+			ch.Workers = ws
+			ch.LiveWorkers = len(ws)
+		}
+		body.Cluster = ch
 	}
 	status := http.StatusOK
 	if body.Draining {
@@ -514,6 +563,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "# HELP rescqd_store_records Records in the WAL file.\n# TYPE rescqd_store_records gauge\nrescqd_store_records %d\n", st.Records)
 		fmt.Fprintf(w, "# HELP rescqd_store_bytes WAL file size in bytes.\n# TYPE rescqd_store_bytes gauge\nrescqd_store_bytes %d\n", st.Bytes)
 		fmt.Fprintf(w, "# HELP rescqd_store_compactions_total WAL compactions performed.\n# TYPE rescqd_store_compactions_total counter\nrescqd_store_compactions_total %d\n", st.Compactions)
+	}
+	if ws, ok := s.ClusterWorkers(); ok {
+		fmt.Fprintf(w, "# HELP rescqd_cluster_workers Live workers registered with the coordinator.\n# TYPE rescqd_cluster_workers gauge\nrescqd_cluster_workers %d\n", len(ws))
+		fmt.Fprint(w, "# HELP rescqd_cluster_worker_inflight Batches in flight per worker.\n# TYPE rescqd_cluster_worker_inflight gauge\n")
+		for _, wi := range ws {
+			fmt.Fprintf(w, "rescqd_cluster_worker_inflight{worker=%q} %d\n", wi.ID, wi.Inflight)
+		}
+		fmt.Fprint(w, "# HELP rescqd_cluster_worker_capacity Batch capacity per worker.\n# TYPE rescqd_cluster_worker_capacity gauge\n")
+		for _, wi := range ws {
+			fmt.Fprintf(w, "rescqd_cluster_worker_capacity{worker=%q} %d\n", wi.ID, wi.Capacity)
+		}
 	}
 	fmt.Fprintf(w, "# HELP rescqd_uptime_seconds Daemon uptime.\n# TYPE rescqd_uptime_seconds gauge\nrescqd_uptime_seconds %.0f\n", time.Since(s.startTime).Seconds())
 }

@@ -253,7 +253,8 @@ type Server struct {
 	stats  *metrics.ServiceStats
 	cache  *resultCache // nil when caching is disabled
 	queue  chan *Job
-	store  *store.Store // nil until AttachStore; durability layer
+	store  *store.Store  // nil until AttachStore; durability layer
+	clust  *clusterState // nil in standalone mode; scale-out layer
 
 	// pending counts run configurations admitted but not yet finished —
 	// the quantity Daemon.MaxQueueDepth bounds (admission control).
@@ -305,6 +306,7 @@ func New(cfg config.Daemon, runner Runner) *Server {
 		s.cache = newResultCache(cfg.CacheEntries)
 		s.inflight = make(map[string]chan struct{})
 	}
+	s.clust = newClusterState(cfg.Cluster)
 	for i := range s.shards {
 		s.shards[i].jobs = make(map[string]*Job)
 	}
@@ -333,6 +335,11 @@ func (s *Server) Start() {
 		workers = sim.DefaultWorkers() // one per CPU, like the engine's pool
 	}
 	s.workers = workers
+	if s.clust != nil && s.clust.registry != nil {
+		// The coordinator's liveness sweeper runs until Shutdown cancels
+		// baseCtx, expiring workers that miss their heartbeat window.
+		go s.expirySweeper()
+	}
 	go func() {
 		// With workers == 1, ParallelFor runs serially on this goroutine —
 		// exactly one dedicated worker, as configured.
@@ -352,6 +359,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	if !s.started {
 		s.accepting = false
 		s.mu.Unlock()
+		s.baseStop()
 		s.closeStore()
 		return nil
 	}
@@ -365,6 +373,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
 	select {
 	case <-s.poolDone:
+		s.baseStop() // every job is terminal; stop the liveness sweeper too
 		s.closeStore()
 		return nil
 	case <-ctx.Done():
@@ -583,26 +592,15 @@ func (s *Server) execute(j *Job) {
 	s.stats.JobsRunning.Add(1)
 	defer s.stats.JobsRunning.Add(-1)
 
-	cancelled := false
-	for i := startIdx; i < len(j.specs); i++ {
-		if j.ctx.Err() != nil {
-			cancelled = true
-			break
-		}
-		res := s.runOne(j.ctx, j.specs[i])
-		res.Index = i
-		if res.Error != "" && j.ctx.Err() != nil {
-			// The configuration was aborted mid-run by cancellation, not
-			// by a real engine failure: discard the partial result.
-			cancelled = true
-			break
-		}
-		j.mu.Lock()
-		j.results = append(j.results, res)
-		j.mu.Unlock()
-		s.persistResult(j, j.specs[i], res)
-		j.events <- res // buffered to len(specs): never blocks
-		s.pending.Add(-1)
+	var cancelled bool
+	if s.dispatchable() {
+		// Coordinator mode with live workers: shard the unfinished
+		// configurations into batches dispatched across the cluster. The
+		// sequencer inside keeps results, WAL records and streamed events
+		// in exactly the order this loop would produce them.
+		cancelled = s.executeSharded(j, startIdx)
+	} else {
+		cancelled = s.executeLocal(j, startIdx)
 	}
 
 	j.mu.Lock()
@@ -643,6 +641,31 @@ func (s *Server) execute(j *Job) {
 	s.stats.ObserveLatency(time.Since(start))
 }
 
+// executeLocal is the standalone execution path: every unfinished
+// configuration runs in submission order on this worker slot. Returns
+// whether the job was cancelled.
+func (s *Server) executeLocal(j *Job, startIdx int) (cancelled bool) {
+	for i := startIdx; i < len(j.specs); i++ {
+		if j.ctx.Err() != nil {
+			return true
+		}
+		res := s.runOne(j.ctx, j.specs[i])
+		res.Index = i
+		if res.Error != "" && j.ctx.Err() != nil {
+			// The configuration was aborted mid-run by cancellation, not
+			// by a real engine failure: discard the partial result.
+			return true
+		}
+		j.mu.Lock()
+		j.results = append(j.results, res)
+		j.mu.Unlock()
+		s.persistResult(j, j.specs[i], res)
+		j.events <- res // buffered to len(specs): never blocks
+		s.pending.Add(-1)
+	}
+	return false
+}
+
 // specKey returns the configuration's cache/store identity: the canonical
 // rescq.CacheKey for simulations, an experiment-id key for paper reports.
 // It is the key the result cache, the in-flight coalescing table and the
@@ -666,8 +689,10 @@ func cacheUsable(v any, spec runSpec) bool {
 	return !(partial && spec.KeepLatencies)
 }
 
-// runOne executes (or serves from cache) a single configuration.
-func (s *Server) runOne(ctx context.Context, spec runSpec) ConfigResult {
+// newConfigResult builds the result skeleton for a spec: the identity
+// fields every rendering of the configuration carries, whether it was
+// computed locally, served from cache, or returned by a cluster worker.
+func newConfigResult(spec runSpec) ConfigResult {
 	res := ConfigResult{
 		Benchmark: spec.Benchmark,
 		Scheduler: string(spec.Opts.Scheduler),
@@ -679,11 +704,16 @@ func (s *Server) runOne(ctx context.Context, spec runSpec) ConfigResult {
 	if spec.Benchmark == "" && spec.CircuitText != "" {
 		res.Benchmark = spec.Name
 	}
-
-	key := specKey(spec)
 	if spec.Experiment != "" {
 		res.Benchmark, res.Scheduler, res.Layout = "", "", ""
 	}
+	return res
+}
+
+// runOne executes (or serves from cache) a single configuration.
+func (s *Server) runOne(ctx context.Context, spec runSpec) ConfigResult {
+	res := newConfigResult(spec)
+	key := specKey(spec)
 
 	if s.cache != nil {
 		if v, ok := s.cache.get(key); ok && cacheUsable(v, spec) {

@@ -568,6 +568,43 @@ func Replay(r io.Reader) ([]ReplayedJob, int, int, error) {
 	for _, id := range order {
 		out = append(out, *jobs[id])
 	}
-	sort.SliceStable(out, func(a, b int) bool { return out[a].Job.ID < out[b].Job.ID })
+	sort.SliceStable(out, func(a, b int) bool { return JobIDLess(out[a].Job.ID, out[b].Job.ID) })
 	return out, records, dropped, nil
+}
+
+// JobIDLess orders job ids for replay and listings: ids sharing a prefix
+// are compared by their trailing decimal counter, so "job-1000000" sorts
+// after "job-999999" (plain string order would put it first the moment the
+// counter outgrows its zero padding). Ids without a numeric suffix fall
+// back to string order.
+func JobIDLess(a, b string) bool {
+	pa, na, aok := splitNumericSuffix(a)
+	pb, nb, bok := splitNumericSuffix(b)
+	if aok && bok && pa == pb {
+		if na != nb {
+			return na < nb
+		}
+		return a < b // differing zero padding only
+	}
+	return a < b
+}
+
+// splitNumericSuffix splits "job-001234" into ("job-", 1234, true).
+func splitNumericSuffix(id string) (prefix string, n uint64, ok bool) {
+	i := len(id)
+	for i > 0 && id[i-1] >= '0' && id[i-1] <= '9' {
+		i--
+	}
+	if i == len(id) {
+		return id, 0, false
+	}
+	// Overflow-proof enough for ids minted from an int64 counter; a
+	// hostile 30-digit suffix just falls back to string order.
+	if len(id)-i > 19 {
+		return id, 0, false
+	}
+	for _, c := range []byte(id[i:]) {
+		n = n*10 + uint64(c-'0')
+	}
+	return id[:i], n, true
 }
