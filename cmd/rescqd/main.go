@@ -32,6 +32,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/config"
+	"repro/internal/fault"
 	"repro/internal/service"
 )
 
@@ -113,6 +114,28 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		return 1
 	}
 
+	// Fault injection: the environment variable wins over the config file
+	// (chaos harnesses arm whole process trees through the environment);
+	// with neither set every failpoint stays dormant — one atomic load per
+	// site. The banner makes an armed daemon impossible to mistake for a
+	// production one.
+	if spec, err := fault.FromEnv(); err != nil {
+		fmt.Fprintln(stderr, "rescqd:", err)
+		return 1
+	} else if spec == "" && cfg.Failpoints != "" {
+		seed := cfg.FaultSeed
+		if seed == 0 {
+			seed = 1
+		}
+		if err := fault.Configure(cfg.Failpoints, seed); err != nil {
+			fmt.Fprintln(stderr, "rescqd:", err)
+			return 1
+		}
+	}
+	if spec := fault.Active(); spec != "" {
+		fmt.Fprintf(stdout, "rescqd: FAULT INJECTION ARMED: %s\n", spec)
+	}
+
 	svc := service.New(cfg, nil)
 	if cfg.StoreDir != "" {
 		// Replay the WAL before the worker pool starts: finished jobs come
@@ -167,10 +190,15 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		fmt.Fprintf(stdout, "rescqd: worker %s heartbeating to %s every %s\n",
 			self, cfg.Cluster.CoordinatorURL, cfg.Cluster.HeartbeatInterval())
 		hb := &cluster.Heartbeater{
-			Client:         cluster.NewClient(nil),
+			Client: cluster.NewTunedClient(cluster.ClientOptions{
+				DialTimeout:     cfg.Cluster.DialTimeout(),
+				IdleConnTimeout: cfg.Cluster.IdleConnTimeout(),
+			}),
 			CoordinatorURL: cfg.Cluster.CoordinatorURL,
 			Self:           cluster.RegisterRequest{ID: self, URL: self, Capacity: svc.Workers()},
 			Interval:       cfg.Cluster.HeartbeatInterval(),
+			Jitter:         cfg.Cluster.HeartbeatJitter,
+			Retries:        cfg.Cluster.DispatchRetries,
 			OnError:        func(err error) { fmt.Fprintln(stderr, "rescqd: heartbeat:", err) },
 		}
 		go hb.Run(hbCtx)

@@ -4,42 +4,123 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"net/http"
 	"strings"
 	"time"
+
+	"repro/internal/fault"
 )
+
+// Failpoint names on the intra-cluster RPC paths (see internal/fault).
+// Dispatch and register failures injected here exercise exactly the code
+// that handles a dead or flaky peer: retry budgets, the circuit breaker,
+// re-dispatch and heartbeat recovery.
+const (
+	// FaultDispatch fires on the coordinator side of Execute, before the
+	// POST leaves the process: an injected error is indistinguishable from
+	// a transport failure to the dispatch loop.
+	FaultDispatch = "cluster.dispatch"
+	// FaultRegister fires inside Register (worker heartbeats and the
+	// initial announcement).
+	FaultRegister = "cluster.register"
+	// FaultExecute is checked by the worker's execute handler (in
+	// internal/service): a delay stalls the batch like an overloaded
+	// worker, an error turns into a 500 the coordinator must survive.
+	FaultExecute = "cluster.execute"
+)
+
+// StatusError is a non-200 reply from a cluster peer. The status code is
+// what lets the dispatch loop separate peer-says-no (4xx: the request
+// itself is bad — a poison batch; re-sending it anywhere is useless) from
+// peer-is-broken (5xx: retry on another worker).
+type StatusError struct {
+	URL  string
+	Code int
+	Body string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("cluster: %s: status %d: %s", e.URL, e.Code, e.Body)
+}
+
+// Terminal reports whether the failure condemns the request rather than
+// the peer: a 4xx means re-dispatching the same payload to another worker
+// would fail identically.
+func (e *StatusError) Terminal() bool { return e.Code >= 400 && e.Code < 500 }
+
+// RetryableDispatch reports whether a dispatch error is worth re-trying on
+// another worker. Transport errors, timeouts and 5xx replies are; a 4xx
+// (the worker validated and rejected the batch itself) is not.
+func RetryableDispatch(err error) bool {
+	var se *StatusError
+	if errors.As(err, &se) {
+		return !se.Terminal()
+	}
+	return true
+}
+
+// ClientOptions tunes the intra-cluster HTTP transport. The zero value
+// takes the production defaults.
+type ClientOptions struct {
+	// DialTimeout bounds connection establishment (default 10s): an
+	// unreachable or blackholed peer fails fast instead of hanging a
+	// dispatcher on connect.
+	DialTimeout time.Duration
+	// IdleConnTimeout is how long pooled connections stay open unused
+	// (default 90s).
+	IdleConnTimeout time.Duration
+}
+
+func (o ClientOptions) withDefaults() ClientOptions {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 10 * time.Second
+	}
+	if o.IdleConnTimeout <= 0 {
+		o.IdleConnTimeout = 90 * time.Second
+	}
+	return o
+}
 
 // Client is the coordinator<->worker HTTP client: the coordinator uses
 // Execute to dispatch batches, workers use Register to announce themselves
-// and heartbeat. The zero value is not usable; build with NewClient.
+// and heartbeat. The zero value is not usable; build with NewClient or
+// NewTunedClient.
 type Client struct {
 	hc *http.Client
 }
 
-// NewClient returns a client. A nil http.Client uses a default tuned for
-// intra-cluster traffic: no overall request timeout (a batch legitimately
-// runs for as long as its simulations do — a slow-but-alive worker is
-// detected by liveness expiry aborting the call via the lease's gone
-// channel, not by a wall-clock guess), but a bounded dial so an
-// unreachable or blackholed peer fails fast instead of hanging a
-// dispatcher on connection establishment.
+// NewClient returns a client. A nil http.Client uses the default
+// ClientOptions — see NewTunedClient for the rationale.
 func NewClient(hc *http.Client) *Client {
 	if hc == nil {
-		hc = &http.Client{
-			Transport: &http.Transport{
-				DialContext: (&net.Dialer{
-					Timeout:   10 * time.Second,
-					KeepAlive: 15 * time.Second,
-				}).DialContext,
-				MaxIdleConnsPerHost: 16,
-				IdleConnTimeout:     90 * time.Second,
-			},
-		}
+		return NewTunedClient(ClientOptions{})
 	}
 	return &Client{hc: hc}
+}
+
+// NewTunedClient returns a client tuned for intra-cluster traffic: no
+// overall request timeout (a batch legitimately runs for as long as its
+// simulations do — slow-but-alive workers are caught by the coordinator's
+// per-batch deadline and liveness expiry, not a transport-level guess),
+// but a bounded dial so an unreachable peer fails fast instead of hanging
+// a dispatcher on connection establishment.
+func NewTunedClient(opts ClientOptions) *Client {
+	opts = opts.withDefaults()
+	return &Client{hc: &http.Client{
+		Transport: &http.Transport{
+			DialContext: (&net.Dialer{
+				Timeout:   opts.DialTimeout,
+				KeepAlive: 15 * time.Second,
+			}).DialContext,
+			MaxIdleConnsPerHost: 16,
+			IdleConnTimeout:     opts.IdleConnTimeout,
+		},
+	}}
 }
 
 // joinURL appends path to a base URL without doubling slashes.
@@ -64,7 +145,7 @@ func (c *Client) postJSON(ctx context.Context, url string, body, out any) error 
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return fmt.Errorf("cluster: %s: status %d: %s", url, resp.StatusCode, bytes.TrimSpace(msg))
+		return &StatusError{URL: url, Code: resp.StatusCode, Body: string(bytes.TrimSpace(msg))}
 	}
 	// Responses are deliberately not size-capped: they come from peers this
 	// node chose to talk to, and a large batch of KeepLatencies results is
@@ -79,6 +160,9 @@ func (c *Client) postJSON(ctx context.Context, url string, body, out any) error 
 // Register announces (or heartbeats) a worker to the coordinator.
 func (c *Client) Register(ctx context.Context, coordinatorURL string, req RegisterRequest) (RegisterResponse, error) {
 	var resp RegisterResponse
+	if err := fault.Check(FaultRegister); err != nil {
+		return resp, err
+	}
 	err := c.postJSON(ctx, joinURL(coordinatorURL, RegisterPath), req, &resp)
 	return resp, err
 }
@@ -88,6 +172,9 @@ func (c *Client) Register(ctx context.Context, coordinatorURL string, req Regist
 // status marks the batch undelivered; the caller re-dispatches it.
 func (c *Client) Execute(ctx context.Context, workerURL string, req ExecuteRequest) (ExecuteResponse, error) {
 	var resp ExecuteResponse
+	if err := fault.Check(FaultDispatch); err != nil {
+		return ExecuteResponse{}, err
+	}
 	if err := c.postJSON(ctx, joinURL(workerURL, ExecutePath), req, &resp); err != nil {
 		return ExecuteResponse{}, err
 	}
@@ -98,37 +185,122 @@ func (c *Client) Execute(ctx context.Context, workerURL string, req ExecuteReque
 	return resp, nil
 }
 
+// Backoff computes capped exponential retry delays with jitter: attempt n
+// sleeps Base<<n, capped at Max, then scaled by a uniform factor in
+// [0.5, 1.5) so a burst of failures (every batch of a dead worker erroring
+// at once) decorrelates instead of retrying in lockstep.
+type Backoff struct {
+	Base time.Duration // first-retry delay (default 100ms)
+	Max  time.Duration // cap before jitter (default 5s)
+}
+
+// Delay returns the sleep before retry attempt (0-based).
+func (b Backoff) Delay(attempt int) time.Duration {
+	base, max := b.Base, b.Max
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	if max <= 0 {
+		max = 5 * time.Second
+	}
+	d := base
+	for i := 0; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	// math/rand's top-level functions are safe for concurrent use; the
+	// jitter is deliberately unseeded (decorrelation, not reproducibility —
+	// deterministic chaos runs come from fault's seeded triggers).
+	return d/2 + time.Duration(rand.Int63n(int64(d)))
+}
+
+// Sleep blocks for Delay(attempt) or until ctx ends, reporting whether the
+// full delay elapsed (false: the caller's work was cancelled mid-backoff).
+func (b Backoff) Sleep(ctx context.Context, attempt int) bool {
+	t := time.NewTimer(b.Delay(attempt))
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
 // Heartbeater keeps a worker registered with its coordinator: one Register
-// POST immediately, then one per interval until the context ends. Failures
-// are retried at the same cadence (the coordinator may simply not be up
-// yet); onError, when non-nil, observes them.
+// POST immediately, then one per (jittered) interval until the context
+// ends. Failures are retried Retries times within the beat with backoff,
+// then again at the next beat (the coordinator may simply not be up yet);
+// onError, when non-nil, observes them.
 type Heartbeater struct {
 	Client         *Client
 	CoordinatorURL string
 	Self           RegisterRequest
 	Interval       time.Duration
+	// Jitter spreads each beat by up to this fraction of Interval in
+	// either direction (0 disables). Without it, every worker that
+	// registered against the same coordinator boot heartbeats in phase —
+	// and a restarted coordinator takes the whole herd's re-register
+	// burst in one instant.
+	Jitter float64
+	// Retries is the per-beat retry budget for a failed register POST
+	// (0 means one attempt per beat).
+	Retries int
 	// OnError observes failed heartbeats (nil ignores them).
 	OnError func(error)
 }
 
-// Run blocks, heartbeating until ctx is cancelled. Each heartbeat gets a
-// deadline of one interval, so a blackholed coordinator cannot wedge the
-// loop: the worker keeps retrying at cadence and re-registers the moment
-// the network heals.
+// jitterInterval spreads interval by ±jitter (a fraction in [0, 0.5]),
+// drawing from the shared unseeded PRNG: decorrelation across workers is
+// the goal, so sharing a seed would defeat it.
+func jitterInterval(interval time.Duration, jitter float64) time.Duration {
+	if jitter <= 0 || interval <= 0 {
+		return interval
+	}
+	if jitter > 0.5 {
+		jitter = 0.5
+	}
+	span := float64(interval) * jitter
+	return interval + time.Duration((rand.Float64()*2-1)*span)
+}
+
+// Run blocks, heartbeating until ctx is cancelled. Each register attempt
+// gets a deadline of one interval, so a blackholed coordinator cannot
+// wedge the loop: the worker keeps retrying at cadence and re-registers
+// the moment the network heals.
 func (h *Heartbeater) Run(ctx context.Context) {
-	t := time.NewTicker(h.Interval)
-	defer t.Stop()
+	backoff := Backoff{Base: h.Interval / 8, Max: h.Interval}
 	for {
-		beat, cancel := context.WithTimeout(ctx, h.Interval)
-		_, err := h.Client.Register(beat, h.CoordinatorURL, h.Self)
-		cancel()
-		if err != nil && h.OnError != nil && ctx.Err() == nil {
-			h.OnError(err)
-		}
+		h.beat(ctx, backoff)
+		t := time.NewTimer(jitterInterval(h.Interval, h.Jitter))
 		select {
 		case <-ctx.Done():
+			t.Stop()
 			return
 		case <-t.C:
+		}
+	}
+}
+
+// beat performs one registration with its bounded retry budget.
+func (h *Heartbeater) beat(ctx context.Context, backoff Backoff) {
+	for attempt := 0; ; attempt++ {
+		call, cancel := context.WithTimeout(ctx, h.Interval)
+		_, err := h.Client.Register(call, h.CoordinatorURL, h.Self)
+		cancel()
+		if err == nil || ctx.Err() != nil {
+			return
+		}
+		if h.OnError != nil {
+			h.OnError(err)
+		}
+		if attempt >= h.Retries {
+			return // budget spent; the next beat tries again
+		}
+		if !backoff.Sleep(ctx, attempt) {
+			return
 		}
 	}
 }

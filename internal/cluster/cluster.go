@@ -167,6 +167,10 @@ type WorkerInfo struct {
 	Capacity int     `json:"capacity"`
 	Inflight int     `json:"inflight"`
 	AgeSec   float64 `json:"last_seen_age_sec"`
+	// Failures is the worker's consecutive dispatch-failure count; Breaker
+	// is its circuit state: "closed", "open" or "half-open".
+	Failures int    `json:"failures,omitempty"`
+	Breaker  string `json:"breaker"`
 }
 
 // nowFunc is the registry clock, swappable in tests.

@@ -24,6 +24,13 @@ type worker struct {
 	// expiry); dispatchers watching it abort their in-flight call so the
 	// batch can be re-dispatched instead of waiting on a dead socket.
 	gone chan struct{}
+	// Circuit breaker: fails counts consecutive dispatch failures; at the
+	// registry's threshold the breaker opens until openUntil, after which
+	// the worker is half-open — eligible for exactly one probe batch
+	// (probing true while it is out) whose outcome closes or re-opens it.
+	fails     int
+	openUntil time.Time
+	probing   bool
 }
 
 // Registry tracks the coordinator's worker membership, liveness and load.
@@ -39,13 +46,39 @@ type Registry struct {
 	cond    *sync.Cond
 	workers map[string]*worker
 	now     nowFunc
+	// Circuit-breaker policy (see SetBreaker).
+	breakerFailures int
+	breakerCooldown time.Duration
 }
 
-// NewRegistry returns an empty registry.
+// NewRegistry returns an empty registry with the default breaker policy
+// (3 consecutive failures open a breaker for 5s).
 func NewRegistry() *Registry {
-	r := &Registry{workers: make(map[string]*worker), now: time.Now}
+	r := &Registry{
+		workers:         make(map[string]*worker),
+		now:             time.Now,
+		breakerFailures: 3,
+		breakerCooldown: 5 * time.Second,
+	}
 	r.cond = sync.NewCond(&r.mu)
 	return r
+}
+
+// SetBreaker tunes the per-worker circuit breaker: failures consecutive
+// ReportFailure calls open a worker's breaker for cooldown, after which one
+// half-open probe decides between closing it and re-opening it. Arguments
+// below the minimums are clamped (failures to 1, cooldown to 0).
+func (r *Registry) SetBreaker(failures int, cooldown time.Duration) {
+	if failures < 1 {
+		failures = 1
+	}
+	if cooldown < 0 {
+		cooldown = 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.breakerFailures = failures
+	r.breakerCooldown = cooldown
 }
 
 // Upsert registers a worker or refreshes its heartbeat lease, returning
@@ -138,8 +171,51 @@ func (l Lease) Release() {
 	defer l.r.mu.Unlock()
 	if cur, ok := l.r.workers[l.ID]; ok && cur == l.w && l.w.inflight > 0 {
 		l.w.inflight--
+		// A probe released without a verdict (the dispatch was cancelled,
+		// not failed) leaves the worker half-open for the next probe.
+		l.w.probing = false
 		l.r.cond.Broadcast()
 	}
+}
+
+// ReportSuccess records a successful dispatch on the lease's worker,
+// closing its circuit breaker (the consecutive-failure count resets).
+func (l Lease) ReportSuccess() {
+	l.r.mu.Lock()
+	defer l.r.mu.Unlock()
+	if cur, ok := l.r.workers[l.ID]; ok && cur == l.w {
+		l.w.fails = 0
+		l.w.probing = false
+		l.w.openUntil = time.Time{}
+		l.r.cond.Broadcast()
+	}
+}
+
+// ReportFailure records a failed dispatch on the lease's worker. At the
+// registry's consecutive-failure threshold the worker's breaker opens
+// (re-opens, for a failed half-open probe): it takes no new batches until
+// the cooldown elapses and a probe succeeds. Unlike the old
+// fail-once-and-evict policy the worker stays registered — liveness expiry
+// still removes nodes that stop heartbeating, but a node that is alive and
+// misbehaving gets a path back. Returns whether this failure opened the
+// breaker (for metrics).
+func (l Lease) ReportFailure() (opened bool) {
+	l.r.mu.Lock()
+	defer l.r.mu.Unlock()
+	cur, ok := l.r.workers[l.ID]
+	if !ok || cur != l.w {
+		return false
+	}
+	wasOpen := l.w.fails >= l.r.breakerFailures
+	l.w.fails++
+	l.w.probing = false
+	if l.w.fails >= l.r.breakerFailures {
+		l.w.openUntil = l.r.now().Add(l.r.breakerCooldown)
+	}
+	// Waiters must re-evaluate: this may have been the last closed worker,
+	// turning their wait into an ErrNoWorkers local fallback.
+	l.r.cond.Broadcast()
+	return !wasOpen && l.w.fails >= l.r.breakerFailures
 }
 
 // Acquire picks the least-loaded live worker with a free in-flight slot
@@ -166,24 +242,79 @@ func (r *Registry) Acquire(ctx context.Context) (Lease, error) {
 		if len(r.workers) == 0 {
 			return Lease{}, ErrNoWorkers
 		}
-		if w := r.pickLocked(); w != nil {
-			w.inflight++
-			return Lease{ID: w.id, URL: w.url, Gone: w.gone, r: r, w: w}, nil
+		if l, ok := r.leaseLocked(""); ok {
+			return l, nil
+		}
+		// Nothing pickable. Waiting only helps if some non-open worker will
+		// free a slot, or an outstanding probe will resolve; with every
+		// usable worker's breaker open, time (not a broadcast) is what heals
+		// the registry, so fall back to local execution instead of wedging.
+		if !r.waitWorthwhileLocked() {
+			return Lease{}, ErrNoWorkers
 		}
 		r.cond.Wait()
 	}
 }
 
-// pickLocked returns the least-loaded worker with a free slot: lowest
-// in-flight count, ties broken by smallest id. Nil when all are saturated.
-func (r *Registry) pickLocked() *worker {
+// TryAcquire reserves a slot like Acquire but never blocks, and skips the
+// worker named exclude. It exists for hedged re-dispatch: the hedge wants a
+// *different* worker right now, or nothing — blocking for one, or doubling
+// down on the straggler itself, would defeat the point.
+func (r *Registry) TryAcquire(exclude string) (Lease, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.leaseLocked(exclude)
+}
+
+// leaseLocked picks and reserves a slot, marking half-open picks as the
+// worker's probe.
+func (r *Registry) leaseLocked(exclude string) (Lease, bool) {
+	w := r.pickLocked(exclude)
+	if w == nil {
+		return Lease{}, false
+	}
+	if w.fails >= r.breakerFailures {
+		w.probing = true
+	}
+	w.inflight++
+	return Lease{ID: w.id, URL: w.url, Gone: w.gone, r: r, w: w}, true
+}
+
+// waitWorthwhileLocked reports whether a blocked Acquire can be unblocked
+// by a broadcast: a healthy-but-saturated worker releasing a slot, or a
+// half-open probe resolving.
+func (r *Registry) waitWorthwhileLocked() bool {
+	now := r.now()
+	for _, w := range r.workers {
+		if w.probing {
+			return true
+		}
+		open := w.fails >= r.breakerFailures && now.Before(w.openUntil)
+		if !open && w.inflight >= w.capacity {
+			return true
+		}
+	}
+	return false
+}
+
+// pickLocked returns the best dispatch target with a free slot: healthy
+// workers (fewest consecutive failures) before half-open ones, then lowest
+// in-flight count, ties broken by smallest id — so dispatch order stays
+// deterministic and testable. Breaker-open workers and in-flight probes are
+// skipped entirely. Nil when nothing is pickable.
+func (r *Registry) pickLocked(exclude string) *worker {
+	now := r.now()
 	var best *worker
 	for _, w := range r.workers {
-		if w.inflight >= w.capacity {
+		if w.id == exclude || w.inflight >= w.capacity {
 			continue
 		}
-		if best == nil || w.inflight < best.inflight ||
-			(w.inflight == best.inflight && w.id < best.id) {
+		if w.fails >= r.breakerFailures && (w.probing || now.Before(w.openUntil)) {
+			continue
+		}
+		if best == nil || w.fails < best.fails ||
+			(w.fails == best.fails && w.inflight < best.inflight) ||
+			(w.fails == best.fails && w.inflight == best.inflight && w.id < best.id) {
 			best = w
 		}
 	}
@@ -197,12 +328,22 @@ func (r *Registry) Snapshot() []WorkerInfo {
 	now := r.now()
 	out := make([]WorkerInfo, 0, len(r.workers))
 	for _, w := range r.workers {
+		state := "closed"
+		if w.fails >= r.breakerFailures {
+			if w.probing || now.Before(w.openUntil) {
+				state = "open"
+			} else {
+				state = "half-open"
+			}
+		}
 		out = append(out, WorkerInfo{
 			ID:       w.id,
 			URL:      w.url,
 			Capacity: w.capacity,
 			Inflight: w.inflight,
 			AgeSec:   now.Sub(w.lastSeen).Seconds(),
+			Failures: w.fails,
+			Breaker:  state,
 		})
 	}
 	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })

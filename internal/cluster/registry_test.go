@@ -3,16 +3,31 @@ package cluster
 import (
 	"context"
 	"errors"
+	"sync"
 	"testing"
 	"time"
 )
 
 // fakeClock gives the registry a deterministic, manually advanced clock.
-type fakeClock struct{ t time.Time }
+// It carries its own lock so a test can advance time while a dispatcher
+// goroutine is blocked inside the registry.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
 
-func (c *fakeClock) now() time.Time          { return c.t }
-func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
-func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1000, 0)} }
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+func newFakeClock() *fakeClock { return &fakeClock{t: time.Unix(1000, 0)} }
 func testRegistry(c *fakeClock) *Registry {
 	r := NewRegistry()
 	r.now = c.now
@@ -192,6 +207,190 @@ func TestStaleLeaseReleaseIgnoresNewIncarnation(t *testing.T) {
 	fresh.Release()
 	if snap := r.Snapshot(); snap[0].Inflight != 0 {
 		t.Fatalf("matching release did not free the slot: inflight = %d", snap[0].Inflight)
+	}
+}
+
+// TestBreakerOpensAndRecovers walks one worker through the full breaker
+// lifecycle: consecutive failures open it (dispatch falls back to the
+// local pool instead of blocking), the cooldown makes it half-open with
+// exactly one probe slot, a failed probe re-opens it, and a successful
+// probe closes it with the failure count reset.
+func TestBreakerOpensAndRecovers(t *testing.T) {
+	clock := newFakeClock()
+	r := testRegistry(clock)
+	r.SetBreaker(3, 5*time.Second)
+	r.Upsert(RegisterRequest{ID: "w-a", URL: "http://a", Capacity: 2})
+
+	// Three consecutive failures; only the third reports the transition.
+	for i := 0; i < 3; i++ {
+		l := mustAcquire(t, r)
+		opened := l.ReportFailure()
+		l.Release()
+		if want := i == 2; opened != want {
+			t.Fatalf("failure %d: opened = %v, want %v", i, opened, want)
+		}
+	}
+	if st := r.Snapshot()[0].Breaker; st != "open" {
+		t.Fatalf("breaker after threshold = %q, want open", st)
+	}
+	// With the only worker's breaker open, Acquire must fall through to
+	// ErrNoWorkers (local execution), not block: time heals breakers, and
+	// no broadcast is coming.
+	if _, err := r.Acquire(context.Background()); !errors.Is(err, ErrNoWorkers) {
+		t.Fatalf("Acquire with breaker open: %v, want ErrNoWorkers", err)
+	}
+
+	// After the cooldown the worker is half-open: one probe, no more.
+	clock.advance(5 * time.Second)
+	if st := r.Snapshot()[0].Breaker; st != "half-open" {
+		t.Fatalf("breaker after cooldown = %q, want half-open", st)
+	}
+	probe := mustAcquire(t, r)
+	if _, ok := r.TryAcquire(""); ok {
+		t.Fatal("second lease granted while the half-open probe is outstanding")
+	}
+	// A failed probe re-opens the breaker; that is not a fresh transition.
+	if probe.ReportFailure() {
+		t.Fatal("failed probe reported a fresh breaker-open transition")
+	}
+	probe.Release()
+	if _, err := r.Acquire(context.Background()); !errors.Is(err, ErrNoWorkers) {
+		t.Fatalf("Acquire after failed probe: %v, want ErrNoWorkers", err)
+	}
+
+	// Next cooldown: a successful probe closes the breaker for good.
+	clock.advance(5 * time.Second)
+	probe = mustAcquire(t, r)
+	probe.ReportSuccess()
+	probe.Release()
+	snap := r.Snapshot()[0]
+	if snap.Breaker != "closed" || snap.Failures != 0 {
+		t.Fatalf("after successful probe: breaker=%q failures=%d, want closed/0", snap.Breaker, snap.Failures)
+	}
+	// Normal dispatch resumes at full capacity.
+	mustAcquire(t, r)
+	mustAcquire(t, r)
+}
+
+// TestBreakerOpenUnblocksWaiters: a dispatcher blocked on the cond var
+// behind a saturated worker must fall through to ErrNoWorkers the moment
+// that worker's breaker opens — not sleep out the cooldown on a wait that
+// no broadcast will resolve.
+func TestBreakerOpenUnblocksWaiters(t *testing.T) {
+	r := testRegistry(newFakeClock())
+	r.SetBreaker(1, time.Minute)
+	r.Upsert(RegisterRequest{ID: "w-a", URL: "http://a", Capacity: 1})
+	l := mustAcquire(t, r)
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := r.Acquire(context.Background())
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // let the dispatcher park on the cond var
+
+	if !l.ReportFailure() {
+		t.Fatal("threshold-1 failure did not open the breaker")
+	}
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrNoWorkers) {
+			t.Fatalf("blocked Acquire after breaker opened: %v, want ErrNoWorkers", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("dispatcher stayed blocked after the last worker's breaker opened")
+	}
+}
+
+// TestExpireDeadWhileAcquireBlocked: liveness expiry fires while a
+// dispatcher is blocked on the cond var. The dispatcher must not
+// deadlock: it falls through to a surviving worker when one frees a
+// slot, and to ErrNoWorkers (the local pool) when the last worker
+// expires mid-wait.
+func TestExpireDeadWhileAcquireBlocked(t *testing.T) {
+	clock := newFakeClock()
+	r := testRegistry(clock)
+	r.Upsert(RegisterRequest{ID: "w-a", URL: "http://a", Capacity: 1})
+	r.Upsert(RegisterRequest{ID: "w-b", URL: "http://b", Capacity: 1})
+	mustAcquire(t, r)       // saturate w-a
+	lb := mustAcquire(t, r) // saturate w-b
+
+	got := make(chan Lease, 1)
+	fail := make(chan error, 1)
+	go func() {
+		l, err := r.Acquire(context.Background())
+		if err != nil {
+			fail <- err
+			return
+		}
+		got <- l
+	}()
+	time.Sleep(10 * time.Millisecond) // park it on the cond var
+
+	// w-a misses its liveness window while w-b keeps heartbeating.
+	clock.advance(2 * time.Second)
+	r.Upsert(RegisterRequest{ID: "w-b", URL: "http://b", Capacity: 1})
+	if expired := r.ExpireDead(time.Second); len(expired) != 1 || expired[0] != "w-a" {
+		t.Fatalf("expired = %v, want [w-a]", expired)
+	}
+
+	// The waiter rides out the expiry and lands on the survivor as soon
+	// as its slot frees.
+	lb.Release()
+	var survivor Lease
+	select {
+	case survivor = <-got:
+		if survivor.ID != "w-b" {
+			t.Fatalf("dispatcher landed on %s, want survivor w-b", survivor.ID)
+		}
+	case err := <-fail:
+		t.Fatalf("dispatcher errored across expiry: %v", err)
+	case <-time.After(2 * time.Second):
+		t.Fatal("dispatcher deadlocked across a mid-wait expiry")
+	}
+
+	// Same setup, but this time the *last* worker expires mid-wait: the
+	// dispatcher must resolve to ErrNoWorkers for the local-pool fallback.
+	go func() {
+		_, err := r.Acquire(context.Background())
+		fail <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	clock.advance(2 * time.Second)
+	if expired := r.ExpireDead(time.Second); len(expired) != 1 || expired[0] != "w-b" {
+		t.Fatalf("expired = %v, want [w-b]", expired)
+	}
+	select {
+	case err := <-fail:
+		if !errors.Is(err, ErrNoWorkers) {
+			t.Fatalf("blocked Acquire after last expiry: %v, want ErrNoWorkers", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("dispatcher deadlocked after the last worker expired mid-wait")
+	}
+	_ = survivor
+}
+
+// TestTryAcquireExcludesAndNeverBlocks pins the hedge-dispatch contract:
+// TryAcquire skips the excluded straggler, picks any other free worker,
+// and reports failure immediately instead of waiting.
+func TestTryAcquireExcludesAndNeverBlocks(t *testing.T) {
+	r := testRegistry(newFakeClock())
+	if _, ok := r.TryAcquire(""); ok {
+		t.Fatal("TryAcquire on an empty registry granted a lease")
+	}
+	r.Upsert(RegisterRequest{ID: "w-a", URL: "http://a", Capacity: 1})
+	if _, ok := r.TryAcquire("w-a"); ok {
+		t.Fatal("TryAcquire granted a lease on the excluded worker")
+	}
+	r.Upsert(RegisterRequest{ID: "w-b", URL: "http://b", Capacity: 1})
+	l, ok := r.TryAcquire("w-a")
+	if !ok || l.ID != "w-b" {
+		t.Fatalf("TryAcquire(exclude w-a) = %v/%v, want a w-b lease", l.ID, ok)
+	}
+	// w-b now saturated and w-a excluded: nothing left, still no blocking.
+	if _, ok := r.TryAcquire("w-a"); ok {
+		t.Fatal("TryAcquire granted a lease with every eligible worker saturated")
 	}
 }
 

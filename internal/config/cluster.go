@@ -46,6 +46,31 @@ type Cluster struct {
 	// BatchSize is how many sweep configurations the coordinator packs
 	// into one dispatch batch (default 8).
 	BatchSize int `json:"batch_size,omitempty"`
+	// DialTimeoutMS bounds connection establishment to a cluster peer, so
+	// an unreachable or blackholed node fails fast instead of hanging a
+	// dispatcher (default 10000).
+	DialTimeoutMS int `json:"dial_timeout_ms,omitempty"`
+	// IdleConnTimeoutMS is how long pooled intra-cluster connections stay
+	// open unused (default 90000).
+	IdleConnTimeoutMS int `json:"idle_conn_timeout_ms,omitempty"`
+	// RetryBackoffMS is the base of the exponential backoff (with jitter)
+	// between dispatch retries of one batch (default 100).
+	RetryBackoffMS int `json:"retry_backoff_ms,omitempty"`
+	// DispatchRetries is the retry budget: how many times one batch chases
+	// failing workers before the coordinator runs it locally (default 4).
+	DispatchRetries int `json:"dispatch_retries,omitempty"`
+	// BreakerFailures is the per-worker circuit-breaker threshold: this
+	// many consecutive dispatch failures open the breaker, taking the
+	// worker out of rotation until a half-open probe succeeds (default 3).
+	BreakerFailures int `json:"breaker_failures,omitempty"`
+	// BreakerCooldownMS is how long an open breaker waits before allowing
+	// a half-open probe batch (default 5000).
+	BreakerCooldownMS int `json:"breaker_cooldown_ms,omitempty"`
+	// HeartbeatJitter spreads each worker's heartbeat interval by up to
+	// this fraction in either direction, so a restarted coordinator is not
+	// hit by a synchronized re-register thundering herd (default 0.2,
+	// max 0.5; negative disables — exact cadence, test use only).
+	HeartbeatJitter float64 `json:"heartbeat_jitter,omitempty"`
 }
 
 // Clustered reports whether the daemon participates in a cluster (either
@@ -70,6 +95,30 @@ func (c Cluster) WithDefaults() Cluster {
 	if c.BatchSize == 0 {
 		c.BatchSize = 8
 	}
+	if c.DialTimeoutMS == 0 {
+		c.DialTimeoutMS = 10_000
+	}
+	if c.IdleConnTimeoutMS == 0 {
+		c.IdleConnTimeoutMS = 90_000
+	}
+	if c.RetryBackoffMS == 0 {
+		c.RetryBackoffMS = 100
+	}
+	if c.DispatchRetries == 0 {
+		c.DispatchRetries = 4
+	}
+	if c.BreakerFailures == 0 {
+		c.BreakerFailures = 3
+	}
+	if c.BreakerCooldownMS == 0 {
+		c.BreakerCooldownMS = 5000
+	}
+	if c.HeartbeatJitter == 0 {
+		c.HeartbeatJitter = 0.2
+	}
+	if c.HeartbeatJitter < 0 {
+		c.HeartbeatJitter = 0 // explicit opt-out: exact cadence
+	}
 	return c
 }
 
@@ -81,6 +130,26 @@ func (c Cluster) HeartbeatInterval() time.Duration {
 // LivenessExpiry returns the liveness window as a duration.
 func (c Cluster) LivenessExpiry() time.Duration {
 	return time.Duration(c.LivenessExpiryMS) * time.Millisecond
+}
+
+// DialTimeout returns the peer-dial bound as a duration.
+func (c Cluster) DialTimeout() time.Duration {
+	return time.Duration(c.DialTimeoutMS) * time.Millisecond
+}
+
+// IdleConnTimeout returns the pooled-connection idle bound as a duration.
+func (c Cluster) IdleConnTimeout() time.Duration {
+	return time.Duration(c.IdleConnTimeoutMS) * time.Millisecond
+}
+
+// RetryBackoff returns the dispatch-retry backoff base as a duration.
+func (c Cluster) RetryBackoff() time.Duration {
+	return time.Duration(c.RetryBackoffMS) * time.Millisecond
+}
+
+// BreakerCooldown returns the open-breaker cooldown as a duration.
+func (c Cluster) BreakerCooldown() time.Duration {
+	return time.Duration(c.BreakerCooldownMS) * time.Millisecond
 }
 
 // peerURL validates a cluster peer URL: absolute http(s) with a host.
@@ -152,6 +221,30 @@ func (c Cluster) Validate() error {
 		// healthy worker's 400 as a death and churn the registry.
 		return fmt.Errorf("config: batch_size %d exceeds the per-batch limit %d",
 			c.BatchSize, cluster.MaxBatchConfigs)
+	}
+	// Resilience knobs: zero means "the WithDefaults value applies" (the
+	// daemon flow fills defaults before validating), so only explicitly
+	// negative settings are configuration errors here.
+	if c.DialTimeoutMS < 0 {
+		return fmt.Errorf("config: dial_timeout_ms must be non-negative, got %d", c.DialTimeoutMS)
+	}
+	if c.IdleConnTimeoutMS < 0 {
+		return fmt.Errorf("config: idle_conn_timeout_ms must be non-negative, got %d", c.IdleConnTimeoutMS)
+	}
+	if c.RetryBackoffMS < 0 {
+		return fmt.Errorf("config: retry_backoff_ms must be non-negative, got %d", c.RetryBackoffMS)
+	}
+	if c.DispatchRetries < 0 {
+		return fmt.Errorf("config: dispatch_retries must be non-negative, got %d", c.DispatchRetries)
+	}
+	if c.BreakerFailures < 0 {
+		return fmt.Errorf("config: breaker_failures must be non-negative, got %d", c.BreakerFailures)
+	}
+	if c.BreakerCooldownMS < 0 {
+		return fmt.Errorf("config: breaker_cooldown_ms must be non-negative, got %d", c.BreakerCooldownMS)
+	}
+	if c.HeartbeatJitter > 0.5 {
+		return fmt.Errorf("config: heartbeat_jitter must be at most 0.5, got %g", c.HeartbeatJitter)
 	}
 	return nil
 }

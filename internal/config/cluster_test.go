@@ -59,6 +59,22 @@ func TestClusterValidate(t *testing.T) {
 		{"negative batch size", func(c *Cluster) { c.BatchSize = -1 }, "batch_size must be positive"},
 		{"batch size at the wire limit", func(c *Cluster) { c.BatchSize = cluster.MaxBatchConfigs }, ""},
 		{"batch size beyond the wire limit", func(c *Cluster) { c.BatchSize = cluster.MaxBatchConfigs + 1 }, "exceeds the per-batch limit"},
+		{"resilience knobs set", func(c *Cluster) {
+			c.DialTimeoutMS = 5000
+			c.IdleConnTimeoutMS = 30_000
+			c.RetryBackoffMS = 50
+			c.DispatchRetries = 2
+			c.BreakerFailures = 5
+			c.BreakerCooldownMS = 1000
+			c.HeartbeatJitter = 0.5
+		}, ""},
+		{"negative dial timeout", func(c *Cluster) { c.DialTimeoutMS = -1 }, "dial_timeout_ms must be non-negative"},
+		{"negative idle timeout", func(c *Cluster) { c.IdleConnTimeoutMS = -1 }, "idle_conn_timeout_ms must be non-negative"},
+		{"negative retry backoff", func(c *Cluster) { c.RetryBackoffMS = -1 }, "retry_backoff_ms must be non-negative"},
+		{"negative dispatch retries", func(c *Cluster) { c.DispatchRetries = -1 }, "dispatch_retries must be non-negative"},
+		{"negative breaker failures", func(c *Cluster) { c.BreakerFailures = -1 }, "breaker_failures must be non-negative"},
+		{"negative breaker cooldown", func(c *Cluster) { c.BreakerCooldownMS = -1 }, "breaker_cooldown_ms must be non-negative"},
+		{"jitter beyond half", func(c *Cluster) { c.HeartbeatJitter = 0.6 }, "heartbeat_jitter must be at most 0.5"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -90,6 +106,23 @@ func TestClusterDefaults(t *testing.T) {
 	}
 	if c.HeartbeatInterval() != 2*time.Second || c.LivenessExpiry() != 6*time.Second {
 		t.Fatalf("duration accessors = %v/%v", c.HeartbeatInterval(), c.LivenessExpiry())
+	}
+	if c.DialTimeout() != 10*time.Second || c.IdleConnTimeout() != 90*time.Second {
+		t.Fatalf("HTTP timeout defaults = %v/%v", c.DialTimeout(), c.IdleConnTimeout())
+	}
+	if c.RetryBackoff() != 100*time.Millisecond || c.DispatchRetries != 4 {
+		t.Fatalf("retry defaults = %v/%d", c.RetryBackoff(), c.DispatchRetries)
+	}
+	if c.BreakerFailures != 3 || c.BreakerCooldown() != 5*time.Second {
+		t.Fatalf("breaker defaults = %d/%v", c.BreakerFailures, c.BreakerCooldown())
+	}
+	if c.HeartbeatJitter != 0.2 {
+		t.Fatalf("heartbeat jitter default = %g, want 0.2", c.HeartbeatJitter)
+	}
+	// Negative jitter is the explicit opt-out: exact cadence.
+	c = Cluster{Mode: ModeCoordinator, HeartbeatJitter: -1}.WithDefaults()
+	if c.HeartbeatJitter != 0 {
+		t.Fatalf("negative jitter should clamp to 0, got %g", c.HeartbeatJitter)
 	}
 	// A custom heartbeat scales the derived expiry default.
 	c = Cluster{Mode: ModeWorker, CoordinatorURL: "http://c", HeartbeatIntervalMS: 500}.WithDefaults()

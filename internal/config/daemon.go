@@ -8,6 +8,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/lattice"
 )
 
@@ -52,6 +53,14 @@ type Daemon struct {
 	// zero value is standalone: single-node, byte-identical to pre-cluster
 	// behavior.
 	Cluster Cluster `json:"cluster"`
+	// Failpoints arms a fault-injection schedule at startup (see
+	// internal/fault for the grammar, e.g. "wal.write=err(disk full)").
+	// Empty — the default — keeps every failpoint dormant; the
+	// RESCQ_FAILPOINTS environment variable overrides this field.
+	Failpoints string `json:"failpoints,omitempty"`
+	// FaultSeed seeds the schedule's probabilistic triggers (default 1), so
+	// a chaos run reproduces exactly from its printed seed.
+	FaultSeed int64 `json:"fault_seed,omitempty"`
 }
 
 // WithDefaults fills unset daemon fields.
@@ -98,6 +107,11 @@ func (d Daemon) Validate() error {
 	if !lattice.Known(d.Layout) {
 		return fmt.Errorf("config: unknown layout %q (registered: %s)",
 			d.Layout, strings.Join(lattice.Layouts(), ", "))
+	}
+	if d.Failpoints != "" {
+		if err := fault.Validate(d.Failpoints); err != nil {
+			return fmt.Errorf("config: failpoints: %w", err)
+		}
 	}
 	return d.Cluster.Validate()
 }

@@ -30,20 +30,31 @@ type ServiceStats struct {
 	ReplayedResults atomic.Int64 // completed configurations replayed from the WAL
 	StoreErrors     atomic.Int64 // WAL append/close failures (durability degraded)
 
+	// Degraded-durability counters: a WAL failure flips the daemon into a
+	// non-durable "lossy" mode instead of failing submissions; a periodic
+	// probe re-attaches the store when the disk heals.
+	DurabilityLost     atomic.Int64 // times the daemon entered lossy mode
+	DurabilityRestored atomic.Int64 // times the probe restored durable mode
+	LossyWrites        atomic.Int64 // WAL records skipped while lossy
+
 	// Cluster counters (coordinator side; zero in standalone mode).
 	BatchesDispatched   atomic.Int64 // batches POSTed to workers
 	BatchesRedispatched atomic.Int64 // batches re-dispatched after a worker died or errored
+	BatchesHedged       atomic.Int64 // hedge batches raced against stragglers
+	DispatchRetries     atomic.Int64 // dispatch attempts retried after a failure
+	BreakerOpens        atomic.Int64 // per-worker circuit breakers opened
 	RemoteConfigs       atomic.Int64 // configurations whose results came back from a worker
 	HeartbeatsReceived  atomic.Int64 // register/heartbeat POSTs accepted
 	WorkerExpiries      atomic.Int64 // workers expired by the liveness sweeper
 
-	mu      sync.Mutex
-	latency *Histogram // completed-job latency in milliseconds
+	mu            sync.Mutex
+	latency       *Histogram // completed-job latency in milliseconds
+	configLatency *Histogram // per-configuration execution latency in milliseconds
 }
 
 // NewServiceStats returns a zeroed counter set.
 func NewServiceStats() *ServiceStats {
-	return &ServiceStats{latency: NewHistogram()}
+	return &ServiceStats{latency: NewHistogram(), configLatency: NewHistogram()}
 }
 
 // ObserveLatency records one completed job's wall-clock latency.
@@ -68,6 +79,33 @@ func (s *ServiceStats) LatencyPercentiles() (p50, p99 int) {
 	return s.latency.Percentile(0.50), s.latency.Percentile(0.99)
 }
 
+// ObserveConfigLatency records one configuration's execution latency —
+// local engine runs directly, remote batches as round-trip ÷ batch size.
+// This is the distribution batch deadlines and hedge delays are derived
+// from.
+func (s *ServiceStats) ObserveConfigLatency(d time.Duration) {
+	ms := int(d.Milliseconds())
+	if ms < 0 {
+		ms = 0
+	}
+	s.mu.Lock()
+	s.configLatency.Add(ms)
+	s.mu.Unlock()
+}
+
+// ConfigLatency returns the per-configuration latency sample count and its
+// p99 in milliseconds. Callers deriving deadlines must check n themselves:
+// a p99 from a handful of samples is noise, not a distribution.
+func (s *ServiceStats) ConfigLatency() (n, p99ms int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n = s.configLatency.N()
+	if n == 0 {
+		return 0, 0
+	}
+	return n, s.configLatency.Percentile(0.99)
+}
+
 // Snapshot is a point-in-time copy of every counter, used by the /metrics
 // endpoint and by tests asserting cache behavior.
 type Snapshot struct {
@@ -86,8 +124,15 @@ type Snapshot struct {
 	ReplayedResults int64 `json:"replayed_results"`
 	StoreErrors     int64 `json:"store_errors"`
 
+	DurabilityLost     int64 `json:"durability_lost"`
+	DurabilityRestored int64 `json:"durability_restored"`
+	LossyWrites        int64 `json:"lossy_writes"`
+
 	BatchesDispatched   int64 `json:"batches_dispatched"`
 	BatchesRedispatched int64 `json:"batches_redispatched"`
+	BatchesHedged       int64 `json:"batches_hedged"`
+	DispatchRetries     int64 `json:"dispatch_retries"`
+	BreakerOpens        int64 `json:"breaker_opens"`
 	RemoteConfigs       int64 `json:"remote_configs"`
 	HeartbeatsReceived  int64 `json:"heartbeats_received"`
 	WorkerExpiries      int64 `json:"worker_expiries"`
@@ -95,11 +140,15 @@ type Snapshot struct {
 	LatencyCount int64 `json:"latency_count"`
 	LatencyP50ms int64 `json:"latency_p50_ms"`
 	LatencyP99ms int64 `json:"latency_p99_ms"`
+
+	ConfigLatencyCount int64 `json:"config_latency_count"`
+	ConfigLatencyP99ms int64 `json:"config_latency_p99_ms"`
 }
 
 // Snapshot captures the current counter values.
 func (s *ServiceStats) Snapshot() Snapshot {
 	p50, p99 := s.LatencyPercentiles()
+	cfgN, cfgP99 := s.ConfigLatency()
 	s.mu.Lock()
 	n := s.latency.N()
 	s.mu.Unlock()
@@ -119,8 +168,15 @@ func (s *ServiceStats) Snapshot() Snapshot {
 		ReplayedResults: s.ReplayedResults.Load(),
 		StoreErrors:     s.StoreErrors.Load(),
 
+		DurabilityLost:     s.DurabilityLost.Load(),
+		DurabilityRestored: s.DurabilityRestored.Load(),
+		LossyWrites:        s.LossyWrites.Load(),
+
 		BatchesDispatched:   s.BatchesDispatched.Load(),
 		BatchesRedispatched: s.BatchesRedispatched.Load(),
+		BatchesHedged:       s.BatchesHedged.Load(),
+		DispatchRetries:     s.DispatchRetries.Load(),
+		BreakerOpens:        s.BreakerOpens.Load(),
 		RemoteConfigs:       s.RemoteConfigs.Load(),
 		HeartbeatsReceived:  s.HeartbeatsReceived.Load(),
 		WorkerExpiries:      s.WorkerExpiries.Load(),
@@ -128,6 +184,9 @@ func (s *ServiceStats) Snapshot() Snapshot {
 		LatencyCount: int64(n),
 		LatencyP50ms: int64(p50),
 		LatencyP99ms: int64(p99),
+
+		ConfigLatencyCount: int64(cfgN),
+		ConfigLatencyP99ms: int64(cfgP99),
 	}
 }
 
@@ -157,8 +216,14 @@ func (s Snapshot) RenderProm(prefix string) string {
 	counter("replayed_jobs_total", "Jobs reconstructed from the WAL at startup.", s.ReplayedJobs)
 	counter("replayed_results_total", "Completed configurations replayed from the WAL.", s.ReplayedResults)
 	counter("store_errors_total", "WAL append/close failures.", s.StoreErrors)
+	counter("durability_lost_total", "Times the daemon degraded to non-durable (lossy) mode.", s.DurabilityLost)
+	counter("durability_restored_total", "Times the durability probe restored the WAL.", s.DurabilityRestored)
+	counter("lossy_writes_total", "WAL records skipped while in lossy mode.", s.LossyWrites)
 	counter("cluster_batches_dispatched_total", "Batches dispatched to cluster workers.", s.BatchesDispatched)
 	counter("cluster_batches_redispatched_total", "Batches re-dispatched after a worker died or errored.", s.BatchesRedispatched)
+	counter("cluster_batches_hedged_total", "Hedge batches raced against straggling workers.", s.BatchesHedged)
+	counter("cluster_dispatch_retries_total", "Dispatch attempts retried after a failure.", s.DispatchRetries)
+	counter("cluster_breaker_opens_total", "Per-worker circuit breakers opened.", s.BreakerOpens)
 	counter("cluster_remote_configs_total", "Configurations executed by cluster workers.", s.RemoteConfigs)
 	counter("cluster_heartbeats_total", "Worker register/heartbeat requests accepted.", s.HeartbeatsReceived)
 	counter("cluster_worker_expiries_total", "Workers expired by the liveness sweeper.", s.WorkerExpiries)
@@ -166,5 +231,8 @@ func (s Snapshot) RenderProm(prefix string) string {
 	fmt.Fprintf(&sb, "# HELP %s_job_latency_ms Completed-job latency quantiles in milliseconds.\n# TYPE %s_job_latency_ms summary\n", prefix, prefix)
 	fmt.Fprintf(&sb, "%s_job_latency_ms{quantile=\"0.5\"} %d\n", prefix, s.LatencyP50ms)
 	fmt.Fprintf(&sb, "%s_job_latency_ms{quantile=\"0.99\"} %d\n", prefix, s.LatencyP99ms)
+	counter("config_latency_observations_total", "Configurations with recorded execution latency.", s.ConfigLatencyCount)
+	fmt.Fprintf(&sb, "# HELP %s_config_latency_ms Per-configuration latency quantiles in milliseconds.\n# TYPE %s_config_latency_ms summary\n", prefix, prefix)
+	fmt.Fprintf(&sb, "%s_config_latency_ms{quantile=\"0.99\"} %d\n", prefix, s.ConfigLatencyP99ms)
 	return sb.String()
 }

@@ -7,10 +7,12 @@ import (
 	"fmt"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/config"
+	"repro/internal/fault"
 )
 
 // This file wires the horizontal scale-out layer (internal/cluster) into
@@ -34,15 +36,21 @@ type clusterState struct {
 	client   *cluster.Client   // coordinator only
 }
 
-// newClusterState builds the mode-appropriate cluster machinery.
+// newClusterState builds the mode-appropriate cluster machinery. Resilience
+// knobs left zero (hand-built test configs) take their WithDefaults values.
 func newClusterState(cfg config.Cluster) *clusterState {
 	if !cfg.Clustered() {
 		return nil
 	}
+	cfg = cfg.WithDefaults()
 	cs := &clusterState{cfg: cfg}
 	if cfg.Mode == config.ModeCoordinator {
 		cs.registry = cluster.NewRegistry()
-		cs.client = cluster.NewClient(nil)
+		cs.registry.SetBreaker(cfg.BreakerFailures, cfg.BreakerCooldown())
+		cs.client = cluster.NewTunedClient(cluster.ClientOptions{
+			DialTimeout:     cfg.DialTimeout(),
+			IdleConnTimeout: cfg.IdleConnTimeout(),
+		})
 	}
 	return cs
 }
@@ -101,6 +109,13 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 // in-flight batch per acquired worker slot); within a batch,
 // configurations run sequentially like a standalone sweep.
 func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
+	// Chaos hook: an injected delay stalls this worker like an overloaded
+	// node (exercising the coordinator's deadline and hedging paths); an
+	// injected error becomes the 500 a crashing worker would produce.
+	if err := fault.Check(cluster.FaultExecute); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
 	req, err := cluster.DecodeExecuteRequest(http.MaxBytesReader(w, r.Body, cluster.MaxExecuteBody))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
@@ -157,6 +172,16 @@ type sequencer struct {
 func (q *sequencer) deliver(idx int, res ConfigResult) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
+	// First result wins. Hedged re-dispatch can legitimately complete the
+	// same index twice (the straggler and its hedge both finish); a released
+	// or buffered index must be dropped here, or the job would append the
+	// configuration twice and decrement its pending backlog twice.
+	if idx < q.next {
+		return
+	}
+	if _, dup := q.ready[idx]; dup {
+		return
+	}
 	q.ready[idx] = res
 	for {
 		r, ok := q.ready[q.next]
@@ -174,11 +199,40 @@ func (q *sequencer) deliver(idx int, res ConfigResult) {
 	}
 }
 
-// maxBatchRedispatch bounds how many times one batch chases failing
-// workers before the coordinator gives up on remote execution and runs it
-// locally — a persistent poison batch (or a registry full of half-dead
-// workers) must make progress, not loop.
-const maxBatchRedispatch = 4
+// Deadline and hedge derivation. Both are multiples of the observed
+// per-configuration p99 scaled by batch size, and neither engages until
+// the histogram holds minLatencySamples — a deadline guessed from a few
+// cold-start samples would misclassify healthy workers as stragglers.
+const (
+	minLatencySamples = 16
+	deadlineSlack     = 8                      // deadline = slack × batch × p99
+	hedgeSlack        = 3                      // hedge fires earlier than the deadline
+	minBatchDeadline  = 2 * time.Second        // floor: fast engines make p99 ≈ 0
+	minHedgeDelay     = 500 * time.Millisecond // floor, for the same reason
+)
+
+// batchDeadline is the per-batch execution bound: a worker that blows it is
+// treated like a failed dispatch (its breaker takes the blame, the batch is
+// retried elsewhere). Zero means no deadline yet.
+func (s *Server) batchDeadline(batchLen int) time.Duration {
+	n, p99 := s.stats.ConfigLatency()
+	if n < minLatencySamples {
+		return 0
+	}
+	d := time.Duration(deadlineSlack*batchLen*p99) * time.Millisecond
+	return max(d, minBatchDeadline)
+}
+
+// hedgeDelay is how long a batch may run before the coordinator races a
+// duplicate on a second worker. Zero means hedging is off.
+func (s *Server) hedgeDelay(batchLen int) time.Duration {
+	n, p99 := s.stats.ConfigLatency()
+	if n < minLatencySamples {
+		return 0
+	}
+	d := time.Duration(hedgeSlack*batchLen*p99) * time.Millisecond
+	return max(d, minHedgeDelay)
+}
 
 // executeSharded runs a job's unfinished configurations through the
 // cluster: coordinator-cache hits are served inline, the misses are packed
@@ -248,11 +302,14 @@ func buildExecuteRequest(j *Job, bi int, idxs []int) (cluster.ExecuteRequest, er
 }
 
 // dispatchBatch drives one batch to completion: acquire the least-loaded
-// worker slot, POST the batch, deliver its results. A dead or failing
-// worker is removed from the registry and the batch re-dispatched to a
-// survivor; with no live workers (or after too many re-dispatches) the
-// batch runs on the coordinator's local pool. Cancellation of the job
-// abandons the batch (the job's final accounting releases its backlog).
+// worker slot, POST the batch (racing a hedge replica if it straggles),
+// deliver its results. Retryable failures — transport errors, 5xx, blown
+// deadlines — charge the worker's circuit breaker and re-dispatch the batch
+// with backoff, up to the configured retry budget; terminal failures (a
+// worker 4xx: the batch itself is poison) and exhausted budgets fall back
+// to the coordinator's local pool, so a batch always makes progress.
+// Cancellation of the job abandons the batch (the job's final accounting
+// releases its backlog).
 func (s *Server) dispatchBatch(j *Job, bi int, idxs []int, seq *sequencer) {
 	ctx := j.ctx
 	req, err := buildExecuteRequest(j, bi, idxs)
@@ -260,13 +317,20 @@ func (s *Server) dispatchBatch(j *Job, bi int, idxs []int, seq *sequencer) {
 		s.runBatchLocally(ctx, j, idxs, seq) // marshal failure: engine still works
 		return
 	}
+	backoff := cluster.Backoff{Base: s.clust.cfg.RetryBackoff(), Max: 20 * s.clust.cfg.RetryBackoff()}
 	for attempt := 0; ; attempt++ {
 		if ctx.Err() != nil {
 			return
 		}
-		if attempt > maxBatchRedispatch {
+		if attempt > s.clust.cfg.DispatchRetries {
 			s.runBatchLocally(ctx, j, idxs, seq)
 			return
+		}
+		if attempt > 0 {
+			s.stats.DispatchRetries.Add(1)
+			if !backoff.Sleep(ctx, attempt-1) {
+				return // job cancelled mid-backoff
+			}
 		}
 		lease, err := s.clust.registry.Acquire(ctx)
 		if errors.Is(err, cluster.ErrNoWorkers) {
@@ -276,27 +340,39 @@ func (s *Server) dispatchBatch(j *Job, bi int, idxs []int, seq *sequencer) {
 		if err != nil {
 			return // job cancelled while waiting for a slot
 		}
-		resp, err := s.executeOnWorker(ctx, lease, req)
-		lease.Release()
+		start := time.Now()
+		resp, winner, err := s.raceBatch(ctx, lease, req)
 		if err != nil {
 			if ctx.Err() != nil {
 				return
 			}
-			// The worker is observably broken (connection reset by a
-			// SIGKILL, a timeout, garbage results): drop it from the
-			// registry — a live worker re-registers on its next heartbeat —
-			// and send the batch to a survivor.
-			s.clust.registry.Remove(lease.ID)
+			if !cluster.RetryableDispatch(err) {
+				// The worker inspected the batch and rejected it (4xx):
+				// every other worker would too. Only the local pool — which
+				// needs no wire decode — can make progress on it.
+				s.runBatchLocally(ctx, j, idxs, seq)
+				return
+			}
 			s.stats.BatchesRedispatched.Add(1)
 			continue
+		}
+		// Feed the deadline/hedge estimator: a batch round-trip amortized
+		// over its configurations approximates per-config latency.
+		perConfig := time.Since(start) / time.Duration(len(idxs))
+		for range idxs {
+			s.stats.ObserveConfigLatency(perConfig)
 		}
 		delivered := 0
 		for k, raw := range resp.Results {
 			idx := idxs[k]
 			var res ConfigResult
 			if err := json.Unmarshal(raw, &res); err != nil {
-				// Treat undecodable results like a failed batch.
-				s.clust.registry.Remove(lease.ID)
+				// Garbage results count against the breaker like a failed
+				// dispatch; the worker stays registered for liveness expiry
+				// or recovery to decide its fate.
+				if winner.ReportFailure() {
+					s.stats.BreakerOpens.Add(1)
+				}
 				s.stats.BatchesRedispatched.Add(1)
 				break
 			}
@@ -319,6 +395,87 @@ func (s *Server) dispatchBatch(j *Job, bi int, idxs []int, seq *sequencer) {
 			return
 		}
 	}
+}
+
+// raceBatch runs one batch on the acquired lease, hedging a duplicate onto
+// a second worker if the primary straggles past the hedge delay. The first
+// successful response wins; the loser's call is cancelled (and not blamed
+// on its worker). A batch deadline, when enough latency samples exist,
+// bounds the whole race — a worker that blows it is charged a failure.
+// The winning lease is returned (already released) so the caller can charge
+// it for undecodable payloads; it is meaningful only when err is nil.
+func (s *Server) raceBatch(ctx context.Context, primary cluster.Lease, req cluster.ExecuteRequest) (cluster.ExecuteResponse, cluster.Lease, error) {
+	var callCtx context.Context
+	var cancel context.CancelFunc
+	if d := s.batchDeadline(len(req.Configs)); d > 0 {
+		callCtx, cancel = context.WithTimeout(ctx, d)
+	} else {
+		callCtx, cancel = context.WithCancel(ctx)
+	}
+	defer cancel()
+
+	type outcome struct {
+		lease cluster.Lease
+		resp  cluster.ExecuteResponse
+		err   error
+	}
+	results := make(chan outcome, 2) // buffered: the losing attempt must not leak its goroutine
+	var won atomic.Bool
+	launch := func(l cluster.Lease) {
+		go func() {
+			resp, err := s.executeOnWorker(callCtx, l, req)
+			switch {
+			case err == nil:
+				l.ReportSuccess()
+			case !won.Load() && ctx.Err() == nil && cluster.RetryableDispatch(err):
+				// An organic failure or a blown deadline — not fallout from
+				// losing the race or from job cancellation.
+				if l.ReportFailure() {
+					s.stats.BreakerOpens.Add(1)
+				}
+			}
+			l.Release()
+			results <- outcome{lease: l, resp: resp, err: err}
+		}()
+	}
+	launch(primary)
+
+	var hedgeC <-chan time.Time
+	if d := s.hedgeDelay(len(req.Configs)); d > 0 {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		hedgeC = t.C
+	}
+
+	inflight := 1
+	var firstErr error
+	for inflight > 0 {
+		select {
+		case <-hedgeC:
+			hedgeC = nil
+			// The primary is straggling. Race a duplicate on a different
+			// worker if one is free right now — never block for one, and
+			// never double down on the straggler itself. The sequencer's
+			// first-result-wins dedup makes the duplicate harmless.
+			if l, ok := s.clust.registry.TryAcquire(primary.ID); ok {
+				s.stats.BatchesHedged.Add(1)
+				inflight++
+				launch(l)
+			}
+		case o := <-results:
+			inflight--
+			if o.err == nil {
+				won.Store(true)
+				return o.resp, o.lease, nil
+			}
+			// A terminal (4xx) verdict outranks retryable errors: it tells
+			// the caller re-dispatch is pointless.
+			if firstErr == nil || !cluster.RetryableDispatch(o.err) {
+				firstErr = o.err
+			}
+		}
+	}
+	return cluster.ExecuteResponse{}, cluster.Lease{}, firstErr
 }
 
 // executeOnWorker POSTs one batch, aborting the call the moment the

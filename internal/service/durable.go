@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"time"
 
 	rescq "repro"
 	"repro/internal/store"
@@ -102,7 +103,68 @@ func (s *Server) AttachStore(dir string) (ReplayStats, error) {
 	// Never mint an id a replayed job already owns.
 	for cur := s.nextID.Load(); cur < maxID && !s.nextID.CompareAndSwap(cur, maxID); cur = s.nextID.Load() {
 	}
+	s.replay = rs
+	// The probe runs for the store's whole lifetime (until baseStop): it is
+	// idle while durable and becomes the recovery path once a WAL failure
+	// flips the daemon into lossy mode.
+	go s.durabilityProbe()
 	return rs, nil
+}
+
+// Lossy reports whether the daemon is serving in degraded (non-durable)
+// mode: a WAL write failed and the disk has not yet passed a re-attach
+// probe. False without a store — no durability was promised, none is lost.
+func (s *Server) Lossy() bool { return s.lossy.Load() }
+
+// ReplayInfo returns what AttachStore recovered (zero value before/without
+// a store), for /healthz and the replay_dropped gauge.
+func (s *Server) ReplayInfo() ReplayStats { return s.replay }
+
+// persistFailed routes every WAL append failure into lossy mode: the
+// failure is counted, the flag raised, and serving continues non-durably
+// rather than surfacing 5xx to submitters whose simulations still run fine.
+func (s *Server) persistFailed() {
+	s.stats.StoreErrors.Add(1)
+	if s.lossy.CompareAndSwap(false, true) {
+		s.stats.DurabilityLost.Add(1)
+	}
+}
+
+// skipPersist gates every WAL write while lossy: records are acknowledged
+// without touching the failing disk (each skip counted). The store itself
+// tolerates the resulting gaps — results must arrive in index order, so a
+// job with a lossy hole simply resumes from before the hole after a crash.
+func (s *Server) skipPersist() bool {
+	if !s.lossy.Load() {
+		return false
+	}
+	s.stats.LossyWrites.Add(1)
+	return true
+}
+
+// durabilityProbe periodically re-tests a lossy store and restores durable
+// mode when the disk heals. It exercises the store's real append/fsync path
+// (without writing a record), so an injected or organic write failure keeps
+// the daemon lossy until the fault actually clears.
+func (s *Server) durabilityProbe() {
+	t := time.NewTicker(s.probeEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.baseCtx.Done():
+			return
+		case <-t.C:
+			if !s.lossy.Load() {
+				continue
+			}
+			if err := s.store.Probe(); err != nil {
+				continue
+			}
+			if s.lossy.CompareAndSwap(true, false) {
+				s.stats.DurabilityRestored.Add(1)
+			}
+		}
+	}
 }
 
 // replayJob reconstructs a Job from its WAL records and registers it.
@@ -179,7 +241,7 @@ func (s *Server) resumeJob(j *Job) *Job {
 // persistJob checkpoints a newly accepted job. Jobs replayed from the WAL
 // are already on disk (and AppendJob would no-op on them anyway).
 func (s *Server) persistJob(j *Job) {
-	if s.store == nil || j.fromStore {
+	if s.store == nil || j.fromStore || s.skipPersist() {
 		return
 	}
 	specs, err := json.Marshal(j.specs)
@@ -190,7 +252,7 @@ func (s *Server) persistJob(j *Job) {
 	if err := s.store.AppendJob(store.JobRecord{
 		ID: j.ID, Kind: j.Kind, Created: j.Created, Specs: specs,
 	}); err != nil {
-		s.stats.StoreErrors.Add(1)
+		s.persistFailed()
 		return
 	}
 	// A job resumed via /resume inherits completed results the WAL only
@@ -212,6 +274,9 @@ func (s *Server) persistResult(j *Job, spec runSpec, res ConfigResult) {
 }
 
 func (s *Server) persistResultLocked(jobID string, spec runSpec, res ConfigResult) {
+	if s.skipPersist() {
+		return
+	}
 	// The WAL never stores per-gate latency arrays (tens of thousands of
 	// ints per run), even for include_latencies jobs: replay re-seeds the
 	// cache as partialSummary anyway, and the only jobs that can carry
@@ -227,13 +292,13 @@ func (s *Server) persistResultLocked(jobID string, spec runSpec, res ConfigResul
 	if err := s.store.AppendResult(store.ResultRecord{
 		JobID: jobID, Index: res.Index, Key: specKey(spec), Result: payload,
 	}); err != nil {
-		s.stats.StoreErrors.Add(1)
+		s.persistFailed()
 	}
 }
 
 // persistDone checkpoints a job's terminal state.
 func (s *Server) persistDone(j *Job, state JobState, jerr error) {
-	if s.store == nil {
+	if s.store == nil || s.skipPersist() {
 		return
 	}
 	rec := store.DoneRecord{JobID: j.ID, State: string(state)}
@@ -241,7 +306,7 @@ func (s *Server) persistDone(j *Job, state JobState, jerr error) {
 		rec.Error = jerr.Error()
 	}
 	if err := s.store.AppendDone(rec); err != nil {
-		s.stats.StoreErrors.Add(1)
+		s.persistFailed()
 	}
 }
 

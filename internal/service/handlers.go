@@ -12,6 +12,7 @@ import (
 	rescq "repro"
 	"repro/internal/cluster"
 	"repro/internal/config"
+	"repro/internal/fault"
 	"repro/internal/store"
 )
 
@@ -468,6 +469,14 @@ type storeHealth struct {
 	Compactions     int64 `json:"compactions"`
 	ReplayedJobs    int64 `json:"replayed_jobs"`
 	ReplayedResults int64 `json:"replayed_results"`
+	// Durable is false while the daemon serves in lossy mode (a WAL write
+	// failed; the probe has not yet re-attached the disk) — never omitted,
+	// because false is exactly the value a monitor alerts on.
+	Durable bool `json:"durable"`
+	// ReplayDropped counts interrupted jobs left resumable on disk because
+	// re-enqueueing them overflowed the queue at startup.
+	ReplayDropped int   `json:"replay_dropped"`
+	LossyWrites   int64 `json:"lossy_writes,omitempty"`
 }
 
 // clusterHealth is the /healthz scale-out section (present only in
@@ -482,6 +491,9 @@ type clusterHealth struct {
 	Workers             []cluster.WorkerInfo `json:"workers,omitempty"`
 	BatchesDispatched   int64                `json:"batches_dispatched"`
 	BatchesRedispatched int64                `json:"batches_redispatched"`
+	BatchesHedged       int64                `json:"batches_hedged"`
+	DispatchRetries     int64                `json:"dispatch_retries"`
+	BreakerOpens        int64                `json:"breaker_opens"`
 	RemoteConfigs       int64                `json:"remote_configs"`
 	Heartbeats          int64                `json:"heartbeats"`
 	WorkerExpiries      int64                `json:"worker_expiries"`
@@ -499,6 +511,9 @@ type healthBody struct {
 	ShedTotal      int64          `json:"shed_total"`
 	Store          *storeHealth   `json:"store,omitempty"`
 	Cluster        *clusterHealth `json:"cluster,omitempty"`
+	// Failpoints is the active fault schedule — present only while one is
+	// armed, so a chaos run is always distinguishable from production.
+	Failpoints string `json:"failpoints,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -521,13 +536,22 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			Compactions:     st.Compactions,
 			ReplayedJobs:    s.stats.ReplayedJobs.Load(),
 			ReplayedResults: s.stats.ReplayedResults.Load(),
+			Durable:         !s.Lossy(),
+			ReplayDropped:   s.ReplayInfo().Dropped,
+			LossyWrites:     s.stats.LossyWrites.Load(),
 		}
+	}
+	if spec := fault.Active(); spec != "" {
+		body.Failpoints = spec
 	}
 	if s.clust != nil {
 		ch := &clusterHealth{
 			Mode:                s.clust.cfg.Mode,
 			BatchesDispatched:   s.stats.BatchesDispatched.Load(),
 			BatchesRedispatched: s.stats.BatchesRedispatched.Load(),
+			BatchesHedged:       s.stats.BatchesHedged.Load(),
+			DispatchRetries:     s.stats.DispatchRetries.Load(),
+			BreakerOpens:        s.stats.BreakerOpens.Load(),
 			RemoteConfigs:       s.stats.RemoteConfigs.Load(),
 			Heartbeats:          s.stats.HeartbeatsReceived.Load(),
 			WorkerExpiries:      s.stats.WorkerExpiries.Load(),
@@ -563,6 +587,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "# HELP rescqd_store_records Records in the WAL file.\n# TYPE rescqd_store_records gauge\nrescqd_store_records %d\n", st.Records)
 		fmt.Fprintf(w, "# HELP rescqd_store_bytes WAL file size in bytes.\n# TYPE rescqd_store_bytes gauge\nrescqd_store_bytes %d\n", st.Bytes)
 		fmt.Fprintf(w, "# HELP rescqd_store_compactions_total WAL compactions performed.\n# TYPE rescqd_store_compactions_total counter\nrescqd_store_compactions_total %d\n", st.Compactions)
+		durable := 1
+		if s.Lossy() {
+			durable = 0
+		}
+		fmt.Fprintf(w, "# HELP rescqd_store_durable Whether the WAL is taking writes (0 while serving in lossy mode).\n# TYPE rescqd_store_durable gauge\nrescqd_store_durable %d\n", durable)
+		fmt.Fprintf(w, "# HELP rescqd_replay_dropped Interrupted jobs left resumable on disk after a failed re-enqueue at startup.\n# TYPE rescqd_replay_dropped gauge\nrescqd_replay_dropped %d\n", s.ReplayInfo().Dropped)
 	}
 	if ws, ok := s.ClusterWorkers(); ok {
 		fmt.Fprintf(w, "# HELP rescqd_cluster_workers Live workers registered with the coordinator.\n# TYPE rescqd_cluster_workers gauge\nrescqd_cluster_workers %d\n", len(ws))

@@ -268,6 +268,14 @@ type Server struct {
 	flightMu sync.Mutex
 	inflight map[string]chan struct{} // cache keys being computed right now
 
+	// Degraded durability: lossy flips true when a WAL append fails, and
+	// from then on persist* calls skip the disk (counted, not errored)
+	// while a background probe retries the store at probeEvery until the
+	// disk heals — the daemon keeps serving instead of failing submissions.
+	lossy      atomic.Bool
+	probeEvery time.Duration
+	replay     ReplayStats // what AttachStore recovered, for /healthz
+
 	mu        sync.Mutex
 	accepting bool
 	started   bool
@@ -289,14 +297,15 @@ func New(cfg config.Daemon, runner Runner) *Server {
 	}
 	ctx, stop := context.WithCancel(context.Background())
 	s := &Server{
-		cfg:       cfg,
-		runner:    runner,
-		stats:     metrics.NewServiceStats(),
-		queue:     make(chan *Job, cfg.QueueDepth),
-		poolDone:  make(chan struct{}),
-		baseCtx:   ctx,
-		baseStop:  stop,
-		startTime: time.Now(),
+		cfg:        cfg,
+		runner:     runner,
+		stats:      metrics.NewServiceStats(),
+		queue:      make(chan *Job, cfg.QueueDepth),
+		poolDone:   make(chan struct{}),
+		probeEvery: 2 * time.Second,
+		baseCtx:    ctx,
+		baseStop:   stop,
+		startTime:  time.Now(),
 		// Accepting from construction, not from Start: AttachStore
 		// re-enqueues interrupted jobs onto the (buffered) queue before
 		// the worker pool spins up.
@@ -752,6 +761,7 @@ func (s *Server) runOne(ctx context.Context, spec runSpec) ConfigResult {
 	// per-job copy unless this spec asked to keep the arrays.
 
 	s.stats.EngineRuns.Add(1)
+	start := time.Now()
 	var (
 		val any
 		err error
@@ -764,6 +774,7 @@ func (s *Server) runOne(ctx context.Context, spec runSpec) ConfigResult {
 	default:
 		val, err = s.runner.Run(ctx, spec.Benchmark, spec.Opts)
 	}
+	s.stats.ObserveConfigLatency(time.Since(start))
 	if err != nil {
 		res.Error = err.Error()
 		return res

@@ -55,6 +55,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/fault"
 )
 
 // Record types, the "type" field of every log line.
@@ -62,6 +64,17 @@ const (
 	recJob    = "job"
 	recResult = "result"
 	recDone   = "done"
+)
+
+// Failpoints on the WAL's write paths (see internal/fault). An injected
+// "disk full" here is how the chaos suite proves the daemon degrades to
+// lossy serving instead of 5xx-ing submissions.
+const (
+	// FaultWrite fires in every record append (and in Probe, so a probe
+	// sees the same simulated disk the appends do).
+	FaultWrite = "wal.write"
+	// FaultSync fires in Sync, the OS-crash checkpoint on graceful drain.
+	FaultSync = "wal.sync"
 )
 
 // JobRecord persists one submitted job: its identity and its fully
@@ -303,6 +316,9 @@ var errClosed = errors.New("store: closed")
 var ErrLocked = errors.New("wal locked by another process")
 
 func (s *Store) writeLocked(v any) error {
+	if err := fault.Check(FaultWrite); err != nil {
+		return fmt.Errorf("store: append: %w", err)
+	}
 	line, err := json.Marshal(v)
 	if err != nil {
 		return fmt.Errorf("store: encode record: %w", err)
@@ -445,7 +461,30 @@ func (s *Store) Sync() error {
 	if s.f == nil {
 		return errClosed
 	}
+	if err := fault.Check(FaultSync); err != nil {
+		return fmt.Errorf("store: sync: %w", err)
+	}
 	return s.f.Sync()
+}
+
+// Probe checks whether the WAL can take writes again, for the service's
+// durability probe while it serves in lossy mode. It exercises the same
+// failpoint and fsync path as a real append — without writing a record,
+// because Replay treats unknown record types as corruption and a probe
+// marker would poison every future replay of the log.
+func (s *Store) Probe() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return errClosed
+	}
+	if err := fault.Check(FaultWrite); err != nil {
+		return fmt.Errorf("store: probe: %w", err)
+	}
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("store: probe: %w", err)
+	}
+	return nil
 }
 
 // Close compacts, syncs and closes the log. Further appends fail.
