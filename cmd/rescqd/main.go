@@ -36,6 +36,16 @@ import (
 	"repro/internal/service"
 )
 
+// workerCodecs is what a worker advertises at registration: everything it
+// speaks, unless -wire-codec json pinned it to the debug path (then it
+// advertises only JSON, and every coordinator falls back accordingly).
+func workerCodecs(wireCodec string) []string {
+	if wireCodec == cluster.CodecJSON {
+		return []string{cluster.CodecJSON}
+	}
+	return cluster.SupportedCodecs()
+}
+
 // deriveAdvertiseURL turns a bound listen address into a dialable base URL
 // for the local-machine quickstart case: a wildcard or unspecified host
 // becomes 127.0.0.1. Multi-host deployments set -advertise explicitly.
@@ -72,6 +82,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		layout   = fs.String("layout", "", "default lattice layout for requests that name none (default star; see GET /v1/capabilities)")
 		storeDir = fs.String("store-dir", "", "durable job+result store directory (WAL); empty disables persistence")
 		maxDepth = fs.Int("max-queue-depth", 0, "admission-control bound on unfinished run configurations; beyond it submissions get 429 (0 = default 4096, negative disables)")
+		walCodec = fs.String("wal-codec", "", "WAL record format for a fresh store: binary (default) or json (debug; existing logs replay either way)")
 
 		mode      = fs.String("mode", "", "cluster mode: standalone (default), coordinator, or worker")
 		coordURL  = fs.String("coordinator", "", "coordinator base URL (worker mode only)")
@@ -79,6 +90,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		heartbeat = fs.Duration("heartbeat-interval", 0, "worker heartbeat / coordinator sweep cadence (0 = default 2s; cluster modes only)")
 		expiry    = fs.Duration("liveness-expiry", 0, "how long a worker may miss heartbeats before the coordinator expires it (0 = default 3x heartbeat)")
 		batchSize = fs.Int("batch-size", 0, "sweep configurations per dispatch batch (0 = default 8; coordinator only)")
+		wireCodec = fs.String("wire-codec", "", "coordinator<->worker dispatch encoding: binary (default) or json (debug; cluster modes only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -91,7 +103,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 	cfg := config.Daemon{
 		Addr: *addr, Workers: *workers, QueueDepth: *queue,
 		CacheEntries: *cache, DrainTimeoutSec: *drain, Layout: *layout,
-		StoreDir: *storeDir, MaxQueueDepth: *maxDepth,
+		StoreDir: *storeDir, MaxQueueDepth: *maxDepth, WALCodec: *walCodec,
 		Cluster: config.Cluster{
 			Mode:                *mode,
 			CoordinatorURL:      *coordURL,
@@ -99,6 +111,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 			HeartbeatIntervalMS: int(heartbeat.Milliseconds()),
 			LivenessExpiryMS:    int(expiry.Milliseconds()),
 			BatchSize:           *batchSize,
+			WireCodec:           *wireCodec,
 		},
 	}.WithDefaults()
 	if *cfgPath != "" {
@@ -195,7 +208,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 				IdleConnTimeout: cfg.Cluster.IdleConnTimeout(),
 			}),
 			CoordinatorURL: cfg.Cluster.CoordinatorURL,
-			Self:           cluster.RegisterRequest{ID: self, URL: self, Capacity: svc.Workers()},
+			Self:           cluster.RegisterRequest{ID: self, URL: self, Capacity: svc.Workers(), Codecs: workerCodecs(cfg.Cluster.WireCodec)},
 			Interval:       cfg.Cluster.HeartbeatInterval(),
 			Jitter:         cfg.Cluster.HeartbeatJitter,
 			Retries:        cfg.Cluster.DispatchRetries,

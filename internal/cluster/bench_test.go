@@ -1,0 +1,82 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+)
+
+// benchBatch builds a dispatch-sized batch with realistic sweep specs and
+// the matching worker response full of result summaries — the payloads the
+// coordinator<->worker wire actually carries.
+func benchBatch(b *testing.B, configs int) (ExecuteRequest, ExecuteResponse) {
+	req := ExecuteRequest{JobID: "job-000042", Batch: 1}
+	resp := ExecuteResponse{}
+	for i := 0; i < configs; i++ {
+		req.Configs = append(req.Configs, ExecuteConfig{Index: i, Spec: json.RawMessage(fmt.Sprintf(
+			`{"Benchmark":"gcm_n13","Scheduler":"dynamic","Opts":{"runs":3,"seed":%d,"distance":11,"keep_latencies":false}}`, i))})
+		resp.Results = append(resp.Results, json.RawMessage(fmt.Sprintf(
+			`{"benchmark":"gcm_n13","scheduler":"dynamic","runs":3,"mean_cycles":%d,"min_cycles":%d,"max_cycles":%d,"std_cycles":104.2,"mean_idle":0.131}`,
+			812000+i, 811000+i, 813000+i)))
+	}
+	return req, resp
+}
+
+// benchWireRoundTrip measures one batch dispatch's serialization work both
+// ways: encode request, decode request (worker), encode response, decode
+// response (coordinator). bytes/batch is the wire cost before compression.
+func benchWireRoundTrip(b *testing.B, codec string) {
+	req, resp := benchBatch(b, 64)
+	encReq := func() []byte {
+		if codec == CodecBinary {
+			return EncodeExecuteRequestBinary(req)
+		}
+		data, err := json.Marshal(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return data
+	}
+	encResp := func() []byte {
+		if codec == CodecBinary {
+			return EncodeExecuteResponseBinary(resp)
+		}
+		data, err := json.Marshal(resp)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return data
+	}
+	b.ReportMetric(float64(len(encReq())+len(encResp())), "bytes/batch")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reqWire, respWire := encReq(), encResp()
+		var (
+			gotReq  ExecuteRequest
+			gotResp ExecuteResponse
+			err     error
+		)
+		if codec == CodecBinary {
+			if gotReq, err = DecodeExecuteRequestBinary(bytes.NewReader(reqWire)); err != nil {
+				b.Fatal(err)
+			}
+			if gotResp, err = DecodeExecuteResponseBinary(respWire); err != nil {
+				b.Fatal(err)
+			}
+		} else {
+			if gotReq, err = DecodeExecuteRequest(bytes.NewReader(reqWire)); err != nil {
+				b.Fatal(err)
+			}
+			if err = json.Unmarshal(respWire, &gotResp); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if len(gotReq.Configs) != len(req.Configs) || len(gotResp.Results) != len(resp.Results) {
+			b.Fatal("round trip lost configs or results")
+		}
+	}
+}
+
+func BenchmarkWireBatchRoundTripBinary(b *testing.B) { benchWireRoundTrip(b, CodecBinary) }
+func BenchmarkWireBatchRoundTripJSON(b *testing.B)   { benchWireRoundTrip(b, CodecJSON) }

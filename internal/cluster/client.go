@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"bytes"
+	"compress/gzip"
 	"context"
 	"encoding/json"
 	"errors"
@@ -142,7 +143,15 @@ func (c *Client) postJSON(ctx context.Context, url string, body, out any) error 
 	if err != nil {
 		return fmt.Errorf("cluster: %s: %w", url, err)
 	}
-	defer resp.Body.Close()
+	// Drain whatever the handler wrote past what we read (the tail of an
+	// error reply, trailing junk after a decoded document) before closing:
+	// a Close on an unread body tears down the pooled connection, and under
+	// a burst of error replies that churned a fresh TCP connection per
+	// retry instead of reusing one.
+	defer func() {
+		drainBody(resp.Body)
+		resp.Body.Close()
+	}()
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
 		return &StatusError{URL: url, Code: resp.StatusCode, Body: string(bytes.TrimSpace(msg))}
@@ -171,18 +180,109 @@ func (c *Client) Register(ctx context.Context, coordinatorURL string, req Regist
 // transport error (a SIGKILLed worker resets the connection) or non-200
 // status marks the batch undelivered; the caller re-dispatches it.
 func (c *Client) Execute(ctx context.Context, workerURL string, req ExecuteRequest) (ExecuteResponse, error) {
-	var resp ExecuteResponse
+	resp, _, err := c.ExecuteWith(ctx, workerURL, req, CodecJSON)
+	return resp, err
+}
+
+// WireTraffic reports what one dispatch actually put on the wire: the
+// codec spoken and the body bytes in each direction as transmitted (after
+// compression), so the coordinator's wire metrics measure the network, not
+// the pre-encoding payload.
+type WireTraffic struct {
+	Codec    string
+	BytesOut int64
+	BytesIn  int64
+}
+
+// ExecuteWith dispatches one batch in the given wire codec. The binary
+// path frames the request with EncodeExecuteRequestBinary, gzips it when
+// that pays, and advertises gzip for the response; CodecJSON (or anything
+// unrecognized) is the plain JSON path old workers speak. The response is
+// decoded by its own Content-Type, so a worker that answers a binary
+// request in JSON — mid-upgrade, or a debug build — still round-trips.
+func (c *Client) ExecuteWith(ctx context.Context, workerURL string, req ExecuteRequest, codec string) (ExecuteResponse, WireTraffic, error) {
 	if err := fault.Check(FaultDispatch); err != nil {
-		return ExecuteResponse{}, err
+		return ExecuteResponse{}, WireTraffic{}, err
 	}
-	if err := c.postJSON(ctx, joinURL(workerURL, ExecutePath), req, &resp); err != nil {
-		return ExecuteResponse{}, err
+	var (
+		payload     []byte
+		contentType string
+		err         error
+	)
+	if codec == CodecBinary {
+		payload = EncodeExecuteRequestBinary(req)
+		contentType = BinaryContentType
+	} else {
+		codec = CodecJSON
+		if payload, err = json.Marshal(req); err != nil {
+			return ExecuteResponse{}, WireTraffic{}, fmt.Errorf("cluster: encode request: %w", err)
+		}
+		contentType = "application/json"
+	}
+	traffic := WireTraffic{Codec: codec}
+	body, gzipped := payload, false
+	if codec == CodecBinary {
+		body, gzipped = MaybeGzip(payload)
+	}
+	traffic.BytesOut = int64(len(body))
+	url := joinURL(workerURL, ExecutePath)
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return ExecuteResponse{}, traffic, fmt.Errorf("cluster: %w", err)
+	}
+	httpReq.Header.Set("Content-Type", contentType)
+	if gzipped {
+		httpReq.Header.Set("Content-Encoding", "gzip")
+	}
+	if codec == CodecBinary {
+		// Setting Accept-Encoding explicitly disables the transport's
+		// transparent decompression, so the raw (compressed) response length
+		// is observable for BytesIn and we gunzip ourselves below.
+		httpReq.Header.Set("Accept-Encoding", "gzip")
+	}
+	httpResp, err := c.hc.Do(httpReq)
+	if err != nil {
+		return ExecuteResponse{}, traffic, fmt.Errorf("cluster: %s: %w", url, err)
+	}
+	defer func() {
+		drainBody(httpResp.Body)
+		httpResp.Body.Close()
+	}()
+	if httpResp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(httpResp.Body, 512))
+		return ExecuteResponse{}, traffic, &StatusError{URL: url, Code: httpResp.StatusCode, Body: string(bytes.TrimSpace(msg))}
+	}
+	// Responses are deliberately not size-capped: they come from peers this
+	// node chose to talk to, and a large batch of KeepLatencies results is
+	// legitimately bigger than any request bound.
+	raw, err := io.ReadAll(httpResp.Body)
+	if err != nil {
+		return ExecuteResponse{}, traffic, fmt.Errorf("cluster: %s: read response: %w", url, err)
+	}
+	traffic.BytesIn = int64(len(raw))
+	if strings.EqualFold(strings.TrimSpace(httpResp.Header.Get("Content-Encoding")), "gzip") {
+		zr, err := gzip.NewReader(bytes.NewReader(raw))
+		if err != nil {
+			return ExecuteResponse{}, traffic, fmt.Errorf("cluster: %s: gzip response: %w", url, err)
+		}
+		if raw, err = io.ReadAll(zr); err != nil {
+			return ExecuteResponse{}, traffic, fmt.Errorf("cluster: %s: gzip response: %w", url, err)
+		}
+		zr.Close()
+	}
+	var resp ExecuteResponse
+	if ct, _, _ := strings.Cut(httpResp.Header.Get("Content-Type"), ";"); strings.TrimSpace(ct) == BinaryContentType {
+		if resp, err = DecodeExecuteResponseBinary(raw); err != nil {
+			return ExecuteResponse{}, traffic, fmt.Errorf("cluster: %s: decode response: %w", url, err)
+		}
+	} else if err := json.Unmarshal(raw, &resp); err != nil {
+		return ExecuteResponse{}, traffic, fmt.Errorf("cluster: %s: decode response: %w", url, err)
 	}
 	if len(resp.Results) != len(req.Configs) {
-		return ExecuteResponse{}, fmt.Errorf("cluster: worker returned %d results for a %d-config batch",
+		return ExecuteResponse{}, traffic, fmt.Errorf("cluster: worker returned %d results for a %d-config batch",
 			len(resp.Results), len(req.Configs))
 	}
-	return resp, nil
+	return resp, traffic, nil
 }
 
 // Backoff computes capped exponential retry delays with jitter: attempt n

@@ -1,0 +1,186 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// countingServer is an httptest server that counts accepted TCP
+// connections, so tests can assert the client reuses its pooled
+// connection instead of churning a fresh one per request.
+func countingServer(t *testing.T, h http.Handler) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var conns atomic.Int64
+	srv := httptest.NewUnstartedServer(h)
+	srv.Config.ConnState = func(_ net.Conn, state http.ConnState) {
+		if state == http.StateNew {
+			conns.Add(1)
+		}
+	}
+	srv.Start()
+	t.Cleanup(srv.Close)
+	return srv, &conns
+}
+
+// TestErrorRepliesReuseConnection: a non-200 reply must not cost the
+// connection. The old client closed the body with the tail of the error
+// reply unread, which tears down the pooled connection — a coordinator
+// retrying against an erroring worker then opened a fresh TCP connection
+// per attempt.
+func TestErrorRepliesReuseConnection(t *testing.T) {
+	srv, conns := countingServer(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// An error reply bigger than the client's 512-byte preview, so the
+		// unread tail is what the drain has to consume.
+		w.WriteHeader(http.StatusInternalServerError)
+		fmt.Fprintf(w, "worker exploded: %s", strings.Repeat("boom ", 1024))
+	}))
+	c := NewTunedClient(ClientOptions{})
+	req := sampleExecuteRequest()
+	for i := 0; i < 5; i++ {
+		_, err := c.Execute(context.Background(), srv.URL, req)
+		var se *StatusError
+		if !errors.As(err, &se) || se.Code != http.StatusInternalServerError {
+			t.Fatalf("attempt %d: err = %v", i, err)
+		}
+	}
+	if n := conns.Load(); n != 1 {
+		t.Fatalf("5 error replies used %d connections, want 1 (body not drained?)", n)
+	}
+}
+
+// TestDecodeErrorReuseConnection: same property on the decode-failure
+// path — a 200 whose body the client gives up on mid-decode.
+func TestDecodeErrorReuseConnection(t *testing.T) {
+	srv, conns := countingServer(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"results": "not an array", "padding": %q}`, strings.Repeat("x", 4096))
+	}))
+	c := NewTunedClient(ClientOptions{})
+	for i := 0; i < 3; i++ {
+		if _, err := c.Execute(context.Background(), srv.URL, sampleExecuteRequest()); err == nil {
+			t.Fatal("bad response decoded")
+		}
+	}
+	if n := conns.Load(); n != 1 {
+		t.Fatalf("3 decode failures used %d connections, want 1", n)
+	}
+}
+
+// echoWorker is a handler that decodes an execute request in whatever
+// codec arrived and answers one result per config, in the request's codec
+// (gzipped when the client advertised it and the body is big enough).
+func echoWorker(t *testing.T, sawCodec *atomic.Value) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		req, codec, err := DecodeExecuteRequestAuto(r.Body, r.Header.Get("Content-Type"), r.Header.Get("Content-Encoding"))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		sawCodec.Store(codec)
+		resp := ExecuteResponse{Results: make([]json.RawMessage, len(req.Configs))}
+		for i, c := range req.Configs {
+			resp.Results[i] = mustMarshal(t, map[string]any{"index": c.Index, "spec_bytes": len(c.Spec)})
+		}
+		if codec == CodecBinary {
+			body := EncodeExecuteResponseBinary(resp)
+			if strings.Contains(r.Header.Get("Accept-Encoding"), "gzip") {
+				if gz, ok := MaybeGzip(body); ok {
+					body = gz
+					w.Header().Set("Content-Encoding", "gzip")
+				}
+			}
+			w.Header().Set("Content-Type", BinaryContentType)
+			w.Write(body)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(resp)
+	})
+}
+
+// TestExecuteWithBinary: a full binary dispatch round trip over real HTTP,
+// including request gzip (the batch is padded past wireCompressMin) and a
+// gzipped binary response, with the traffic counters seeing wire bytes.
+func TestExecuteWithBinary(t *testing.T) {
+	var saw atomic.Value
+	srv, _ := countingServer(t, echoWorker(t, &saw))
+	c := NewTunedClient(ClientOptions{})
+	req := bigExecuteRequest(64)
+	resp, traffic, err := c.ExecuteWith(context.Background(), srv.URL, req, CodecBinary)
+	if err != nil {
+		t.Fatalf("ExecuteWith: %v", err)
+	}
+	if saw.Load() != CodecBinary {
+		t.Fatalf("worker decoded codec %v, want binary", saw.Load())
+	}
+	if len(resp.Results) != len(req.Configs) {
+		t.Fatalf("got %d results", len(resp.Results))
+	}
+	if traffic.Codec != CodecBinary || traffic.BytesOut == 0 || traffic.BytesIn == 0 {
+		t.Fatalf("traffic = %+v", traffic)
+	}
+	// The request body repeats the same spec 64 times: gzip must have paid.
+	if plain := int64(len(EncodeExecuteRequestBinary(req))); traffic.BytesOut >= plain {
+		t.Fatalf("request not compressed: %d wire bytes vs %d plain", traffic.BytesOut, plain)
+	}
+}
+
+// TestExecuteWithJSONFallback: the same worker spoken to in JSON — the
+// compatibility path a coordinator takes for workers that never advertised
+// the binary codec.
+func TestExecuteWithJSONFallback(t *testing.T) {
+	var saw atomic.Value
+	srv, _ := countingServer(t, echoWorker(t, &saw))
+	c := NewTunedClient(ClientOptions{})
+	req := bigExecuteRequest(8)
+	resp, traffic, err := c.ExecuteWith(context.Background(), srv.URL, req, CodecJSON)
+	if err != nil {
+		t.Fatalf("ExecuteWith: %v", err)
+	}
+	if saw.Load() != CodecJSON || traffic.Codec != CodecJSON {
+		t.Fatalf("codec: worker=%v traffic=%q", saw.Load(), traffic.Codec)
+	}
+	if len(resp.Results) != len(req.Configs) {
+		t.Fatalf("got %d results", len(resp.Results))
+	}
+}
+
+// TestExecuteWithBinaryResultCountMismatch: the short-batch guard holds on
+// the binary path too.
+func TestExecuteWithBinaryResultCountMismatch(t *testing.T) {
+	srv, _ := countingServer(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", BinaryContentType)
+		w.Write(EncodeExecuteResponseBinary(ExecuteResponse{Results: []json.RawMessage{[]byte(`{}`)}}))
+	}))
+	c := NewTunedClient(ClientOptions{})
+	_, _, err := c.ExecuteWith(context.Background(), srv.URL, bigExecuteRequest(4), CodecBinary)
+	if err == nil || !strings.Contains(err.Error(), "results for a") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func bigExecuteRequest(configs int) ExecuteRequest {
+	req := ExecuteRequest{JobID: "job-000042", Batch: 1}
+	for i := 0; i < configs; i++ {
+		req.Configs = append(req.Configs, ExecuteConfig{Index: i,
+			Spec: json.RawMessage(`{"Benchmark":"gcm_n13","Scheduler":"dynamic","Opts":{"runs":3,"seed":42,"distance":11}}`)})
+	}
+	return req
+}
+
+func mustMarshal(t *testing.T, v any) json.RawMessage {
+	t.Helper()
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}

@@ -62,6 +62,10 @@ type RegisterRequest struct {
 	// Capacity is the worker's batch parallelism: the coordinator keeps at
 	// most this many batches in flight on the worker (min 1).
 	Capacity int `json:"capacity"`
+	// Codecs lists the wire codecs the worker can decode, most preferred
+	// first (see SupportedCodecs). Absent on workers that predate codec
+	// negotiation; the coordinator speaks JSON to those.
+	Codecs []string `json:"codecs,omitempty"`
 }
 
 // RegisterResponse acknowledges a registration/heartbeat.
@@ -171,6 +175,9 @@ type WorkerInfo struct {
 	// is its circuit state: "closed", "open" or "half-open".
 	Failures int    `json:"failures,omitempty"`
 	Breaker  string `json:"breaker"`
+	// Codecs is what the worker advertised at registration; empty means a
+	// pre-negotiation worker that is spoken to in JSON.
+	Codecs []string `json:"codecs,omitempty"`
 }
 
 // nowFunc is the registry clock, swappable in tests.

@@ -3,6 +3,7 @@ package cluster
 import (
 	"context"
 	"errors"
+	"slices"
 	"sort"
 	"sync"
 	"time"
@@ -20,6 +21,10 @@ type worker struct {
 	capacity int
 	lastSeen time.Time
 	inflight int
+	// codecs is what the worker advertised at registration; binary caches
+	// whether CodecBinary is among them (the per-dispatch question).
+	codecs []string
+	binary bool
 	// gone is closed when the worker is removed (explicitly or by liveness
 	// expiry); dispatchers watching it abort their in-flight call so the
 	// batch can be re-dispatched instead of waiting on a dead socket.
@@ -99,6 +104,8 @@ func (r *Registry) Upsert(req RegisterRequest) (isNew bool) {
 	w.url = req.URL
 	w.capacity = capacity
 	w.lastSeen = r.now()
+	w.codecs = req.Codecs
+	w.binary = slices.Contains(req.Codecs, CodecBinary)
 	// A new worker or a raised capacity can unblock saturated dispatchers.
 	r.cond.Broadcast()
 	return !ok
@@ -154,11 +161,14 @@ func (r *Registry) Len() int {
 // plus the release handle. Gone is closed if the worker dies while the
 // lease is held.
 type Lease struct {
-	ID   string
-	URL  string
-	Gone <-chan struct{}
-	r    *Registry
-	w    *worker
+	ID  string
+	URL string
+	// Binary reports whether the worker advertised the binary wire codec;
+	// false means it must be spoken to in JSON.
+	Binary bool
+	Gone   <-chan struct{}
+	r      *Registry
+	w      *worker
 }
 
 // Release frees the lease's in-flight slot. Safe to call after the worker
@@ -277,7 +287,7 @@ func (r *Registry) leaseLocked(exclude string) (Lease, bool) {
 		w.probing = true
 	}
 	w.inflight++
-	return Lease{ID: w.id, URL: w.url, Gone: w.gone, r: r, w: w}, true
+	return Lease{ID: w.id, URL: w.url, Binary: w.binary, Gone: w.gone, r: r, w: w}, true
 }
 
 // waitWorthwhileLocked reports whether a blocked Acquire can be unblocked
@@ -344,6 +354,7 @@ func (r *Registry) Snapshot() []WorkerInfo {
 			AgeSec:   now.Sub(w.lastSeen).Seconds(),
 			Failures: w.fails,
 			Breaker:  state,
+			Codecs:   slices.Clone(w.codecs),
 		})
 	}
 	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })

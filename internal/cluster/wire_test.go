@@ -1,7 +1,10 @@
 package cluster
 
 import (
+	"bytes"
+	"compress/gzip"
 	"encoding/json"
+	"io"
 	"strings"
 	"testing"
 )
@@ -79,4 +82,171 @@ func TestExecuteRequestRoundTrip(t *testing.T) {
 			t.Fatalf("config %d mismatch: %+v vs %+v", i, out.Configs[i], in.Configs[i])
 		}
 	}
+}
+
+func sampleExecuteRequest() ExecuteRequest {
+	return ExecuteRequest{
+		JobID: "job-000042",
+		Batch: 3,
+		Configs: []ExecuteConfig{
+			{Index: 4, Spec: json.RawMessage(`{"Benchmark":"gcm_n13","Opts":{"runs":1}}`)},
+			{Index: 7, Spec: json.RawMessage(`{"Experiment":"fig10","Quick":true}`)},
+		},
+	}
+}
+
+// TestBinaryExecuteRequestRoundTrip: the binary framing carries exactly
+// what the JSON wire carries, byte-for-byte on every spec.
+func TestBinaryExecuteRequestRoundTrip(t *testing.T) {
+	in := sampleExecuteRequest()
+	frame := EncodeExecuteRequestBinary(in)
+	out, err := DecodeExecuteRequestBinary(bytes.NewReader(frame))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if out.JobID != in.JobID || out.Batch != in.Batch || len(out.Configs) != len(in.Configs) {
+		t.Fatalf("round trip mismatch: %+v", out)
+	}
+	for i := range in.Configs {
+		if out.Configs[i].Index != in.Configs[i].Index ||
+			string(out.Configs[i].Spec) != string(in.Configs[i].Spec) {
+			t.Fatalf("config %d mismatch: %+v vs %+v", i, out.Configs[i], in.Configs[i])
+		}
+	}
+}
+
+func TestBinaryExecuteResponseRoundTrip(t *testing.T) {
+	in := ExecuteResponse{Results: []json.RawMessage{
+		json.RawMessage(`{"total_cycles":812345}`),
+		json.RawMessage(`{"total_cycles":812399,"mean_idle_fraction":0.131}`),
+	}}
+	out, err := DecodeExecuteResponseBinary(EncodeExecuteResponseBinary(in))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(out.Results) != 2 || string(out.Results[0]) != string(in.Results[0]) ||
+		string(out.Results[1]) != string(in.Results[1]) {
+		t.Fatalf("round trip mismatch: %+v", out)
+	}
+	empty, err := DecodeExecuteResponseBinary(EncodeExecuteResponseBinary(ExecuteResponse{}))
+	if err != nil || len(empty.Results) != 0 {
+		t.Fatalf("empty response round trip: %+v err=%v", empty, err)
+	}
+}
+
+// TestBinaryExecuteRequestRejects: the binary decoder is the same trust
+// boundary as the JSON one — every malformed or cap-violating frame must
+// be refused, never mis-parsed.
+func TestBinaryExecuteRequestRejects(t *testing.T) {
+	valid := EncodeExecuteRequestBinary(sampleExecuteRequest())
+	flipCRC := append([]byte(nil), valid...)
+	flipCRC[len(flipCRC)-1] ^= 0x01
+	flipBody := append([]byte(nil), valid...)
+	flipBody[len(flipBody)/2] ^= 0x40
+	wrongVersion := append([]byte(nil), valid...)
+	wrongVersion[3] = wireVersion + 1
+	wrongKind := EncodeExecuteResponseBinary(ExecuteResponse{Results: []json.RawMessage{[]byte(`{}`)}})
+	trailing := append(append([]byte(nil), valid...), 0xde, 0xad)
+	empty := EncodeExecuteRequestBinary(ExecuteRequest{JobID: "j"})
+	emptySpec := EncodeExecuteRequestBinary(ExecuteRequest{JobID: "j",
+		Configs: []ExecuteConfig{{Index: 0}}})
+	decreasing := EncodeExecuteRequestBinary(ExecuteRequest{JobID: "j",
+		Configs: []ExecuteConfig{{Index: 2, Spec: []byte(`{}`)}, {Index: 1, Spec: []byte(`{}`)}}})
+	cases := []struct {
+		name  string
+		frame []byte
+	}{
+		{"empty frame", nil},
+		{"garbage", []byte("batch batch batch")},
+		{"truncated", valid[:len(valid)-5]},
+		{"crc flip", flipCRC},
+		{"body flip", flipBody},
+		{"wrong version", wrongVersion},
+		{"wrong kind", wrongKind},
+		{"trailing data", trailing},
+		{"no configs", empty},
+		{"empty spec", emptySpec},
+		{"non-increasing indices", decreasing},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := DecodeExecuteRequestBinary(bytes.NewReader(tc.frame)); err == nil {
+				t.Fatalf("decode accepted %s", tc.name)
+			}
+		})
+	}
+}
+
+// TestDecodeExecuteRequestAuto: the worker-side dispatcher picks codec by
+// Content-Type and unwraps Content-Encoding first.
+func TestDecodeExecuteRequestAuto(t *testing.T) {
+	in := sampleExecuteRequest()
+	jsonBody, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binBody := EncodeExecuteRequestBinary(in)
+	gzBody := gzipBytes(t, binBody)
+	cases := []struct {
+		name, ct, ce string
+		body         []byte
+		wantCodec    string
+	}{
+		{"json", "application/json", "", jsonBody, CodecJSON},
+		{"json default ct", "", "", jsonBody, CodecJSON},
+		{"binary", BinaryContentType, "", binBody, CodecBinary},
+		{"binary with charset", BinaryContentType + "; charset=utf-8", "", binBody, CodecBinary},
+		{"binary gzip", BinaryContentType, "gzip", gzBody, CodecBinary},
+		{"json gzip", "application/json", "gzip", gzipBytes(t, jsonBody), CodecJSON},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req, codec, err := DecodeExecuteRequestAuto(bytes.NewReader(tc.body), tc.ct, tc.ce)
+			if err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			if codec != tc.wantCodec || req.JobID != in.JobID || len(req.Configs) != len(in.Configs) {
+				t.Fatalf("codec=%q req=%+v", codec, req)
+			}
+		})
+	}
+	if _, _, err := DecodeExecuteRequestAuto(bytes.NewReader(binBody), BinaryContentType, "br"); err == nil {
+		t.Fatal("unsupported content encoding accepted")
+	}
+	if _, _, err := DecodeExecuteRequestAuto(bytes.NewReader(binBody), BinaryContentType, "gzip"); err == nil {
+		t.Fatal("non-gzip body with gzip encoding accepted")
+	}
+}
+
+func TestMaybeGzip(t *testing.T) {
+	small := []byte("tiny")
+	if out, ok := MaybeGzip(small); ok || !bytes.Equal(out, small) {
+		t.Fatal("small body compressed")
+	}
+	big := bytes.Repeat([]byte(`{"total_cycles":812345,"mean_idle_fraction":0.131}`), 100)
+	out, ok := MaybeGzip(big)
+	if !ok || len(out) >= len(big) {
+		t.Fatalf("compressible body not compressed: %d -> %d", len(big), len(out))
+	}
+	zr, err := gzip.NewReader(bytes.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	round, err := io.ReadAll(zr)
+	if err != nil || !bytes.Equal(round, big) {
+		t.Fatalf("gzip round trip: %v", err)
+	}
+}
+
+func gzipBytes(t *testing.T, p []byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if _, err := zw.Write(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
 }

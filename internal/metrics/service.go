@@ -47,6 +47,16 @@ type ServiceStats struct {
 	HeartbeatsReceived  atomic.Int64 // register/heartbeat POSTs accepted
 	WorkerExpiries      atomic.Int64 // workers expired by the liveness sweeper
 
+	// Wire-codec counters (coordinator side): which codec each dispatched
+	// batch was spoken in, and the bytes that actually crossed the wire
+	// (post-compression), per direction.
+	WireBinaryBatches  atomic.Int64 // batches dispatched in the binary wire codec
+	WireBinaryBytesOut atomic.Int64 // binary-dispatch request bytes on the wire
+	WireBinaryBytesIn  atomic.Int64 // binary-dispatch response bytes on the wire
+	WireJSONBatches    atomic.Int64 // batches dispatched in the JSON wire codec
+	WireJSONBytesOut   atomic.Int64 // JSON-dispatch request bytes on the wire
+	WireJSONBytesIn    atomic.Int64 // JSON-dispatch response bytes on the wire
+
 	mu            sync.Mutex
 	latency       *Histogram // completed-job latency in milliseconds
 	configLatency *Histogram // per-configuration execution latency in milliseconds
@@ -137,6 +147,13 @@ type Snapshot struct {
 	HeartbeatsReceived  int64 `json:"heartbeats_received"`
 	WorkerExpiries      int64 `json:"worker_expiries"`
 
+	WireBinaryBatches  int64 `json:"wire_binary_batches"`
+	WireBinaryBytesOut int64 `json:"wire_binary_bytes_out"`
+	WireBinaryBytesIn  int64 `json:"wire_binary_bytes_in"`
+	WireJSONBatches    int64 `json:"wire_json_batches"`
+	WireJSONBytesOut   int64 `json:"wire_json_bytes_out"`
+	WireJSONBytesIn    int64 `json:"wire_json_bytes_in"`
+
 	LatencyCount int64 `json:"latency_count"`
 	LatencyP50ms int64 `json:"latency_p50_ms"`
 	LatencyP99ms int64 `json:"latency_p99_ms"`
@@ -180,6 +197,13 @@ func (s *ServiceStats) Snapshot() Snapshot {
 		RemoteConfigs:       s.RemoteConfigs.Load(),
 		HeartbeatsReceived:  s.HeartbeatsReceived.Load(),
 		WorkerExpiries:      s.WorkerExpiries.Load(),
+
+		WireBinaryBatches:  s.WireBinaryBatches.Load(),
+		WireBinaryBytesOut: s.WireBinaryBytesOut.Load(),
+		WireBinaryBytesIn:  s.WireBinaryBytesIn.Load(),
+		WireJSONBatches:    s.WireJSONBatches.Load(),
+		WireJSONBytesOut:   s.WireJSONBytesOut.Load(),
+		WireJSONBytesIn:    s.WireJSONBytesIn.Load(),
 
 		LatencyCount: int64(n),
 		LatencyP50ms: int64(p50),
@@ -227,6 +251,18 @@ func (s Snapshot) RenderProm(prefix string) string {
 	counter("cluster_remote_configs_total", "Configurations executed by cluster workers.", s.RemoteConfigs)
 	counter("cluster_heartbeats_total", "Worker register/heartbeat requests accepted.", s.HeartbeatsReceived)
 	counter("cluster_worker_expiries_total", "Workers expired by the liveness sweeper.", s.WorkerExpiries)
+	labeled := func(name, help string, rows ...[2]any) {
+		fmt.Fprintf(&sb, "# HELP %s_%s %s\n# TYPE %s_%s counter\n", prefix, name, help, prefix, name)
+		for _, r := range rows {
+			fmt.Fprintf(&sb, "%s_%s{codec=%q} %d\n", prefix, name, r[0], r[1])
+		}
+	}
+	labeled("cluster_wire_batches_total", "Batches dispatched, by wire codec.",
+		[2]any{"binary", s.WireBinaryBatches}, [2]any{"json", s.WireJSONBatches})
+	labeled("cluster_wire_bytes_out_total", "Dispatch request bytes on the wire (post-compression), by codec.",
+		[2]any{"binary", s.WireBinaryBytesOut}, [2]any{"json", s.WireJSONBytesOut})
+	labeled("cluster_wire_bytes_in_total", "Dispatch response bytes on the wire (post-compression), by codec.",
+		[2]any{"binary", s.WireBinaryBytesIn}, [2]any{"json", s.WireJSONBytesIn})
 	counter("job_latency_observations_total", "Completed jobs with recorded latency.", s.LatencyCount)
 	fmt.Fprintf(&sb, "# HELP %s_job_latency_ms Completed-job latency quantiles in milliseconds.\n# TYPE %s_job_latency_ms summary\n", prefix, prefix)
 	fmt.Fprintf(&sb, "%s_job_latency_ms{quantile=\"0.5\"} %d\n", prefix, s.LatencyP50ms)

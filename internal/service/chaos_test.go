@@ -109,6 +109,12 @@ func TestChaosSweepUnderFaults(t *testing.T) {
 			seed, gotJSON, wantJSON)
 	}
 
+	// The faults ran over the production data plane: the workers advertise
+	// the binary codec, so the surviving dispatches must have used it.
+	if n := coord.srv.Stats().WireBinaryBatches.Load(); n == 0 {
+		t.Fatalf("seed %d: chaos sweep completed without a single binary-wire batch", seed)
+	}
+
 	// The schedule was not a no-op: at least one failpoint fired. (Which
 	// ones, and how often, is the seed's business.)
 	var fires int64

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -116,7 +117,9 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
-	req, err := cluster.DecodeExecuteRequest(http.MaxBytesReader(w, r.Body, cluster.MaxExecuteBody))
+	req, codec, err := cluster.DecodeExecuteRequestAuto(
+		http.MaxBytesReader(w, r.Body, cluster.MaxExecuteBody),
+		r.Header.Get("Content-Type"), r.Header.Get("Content-Encoding"))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -133,6 +136,11 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 		if r.Context().Err() != nil {
 			// The coordinator hung up (job cancelled, or it re-dispatched
 			// after deciding this worker is dead); stop burning engine time.
+			// Say so explicitly: a bare return here wrote an empty 200, which
+			// a coordinator still listening (a proxy hiccup cancelled us, not
+			// the dispatcher) would misread as a zero-result success.
+			writeError(w, http.StatusServiceUnavailable,
+				fmt.Errorf("service: batch abandoned %d/%d: %w", i, len(specs), r.Context().Err()))
 			return
 		}
 		res := s.runOne(r.Context(), spec)
@@ -143,6 +151,18 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		resp.Results = append(resp.Results, data)
+	}
+	if codec == cluster.CodecBinary {
+		body := cluster.EncodeExecuteResponseBinary(resp)
+		if strings.Contains(r.Header.Get("Accept-Encoding"), "gzip") {
+			if gz, ok := cluster.MaybeGzip(body); ok {
+				body = gz
+				w.Header().Set("Content-Encoding", "gzip")
+			}
+		}
+		w.Header().Set("Content-Type", cluster.BinaryContentType)
+		w.Write(body)
+		return
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -478,10 +498,21 @@ func (s *Server) raceBatch(ctx context.Context, primary cluster.Lease, req clust
 	return cluster.ExecuteResponse{}, cluster.Lease{}, firstErr
 }
 
-// executeOnWorker POSTs one batch, aborting the call the moment the
-// worker is removed from the registry (liveness expiry fires while the
-// socket is still nominally open) so the batch can be re-dispatched
-// without waiting on a dead peer.
+// wireCodec picks the dispatch encoding for one lease: binary when the
+// worker advertised it and the coordinator's wire_codec knob has not
+// forced the JSON debug path; JSON otherwise (including every worker that
+// predates codec negotiation).
+func (s *Server) wireCodec(lease cluster.Lease) string {
+	if lease.Binary && s.clust.cfg.WireCodec != cluster.CodecJSON {
+		return cluster.CodecBinary
+	}
+	return cluster.CodecJSON
+}
+
+// executeOnWorker POSTs one batch in the lease's negotiated codec,
+// aborting the call the moment the worker is removed from the registry
+// (liveness expiry fires while the socket is still nominally open) so the
+// batch can be re-dispatched without waiting on a dead peer.
 func (s *Server) executeOnWorker(ctx context.Context, lease cluster.Lease, req cluster.ExecuteRequest) (cluster.ExecuteResponse, error) {
 	callCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -495,7 +526,18 @@ func (s *Server) executeOnWorker(ctx context.Context, lease cluster.Lease, req c
 		}
 	}()
 	s.stats.BatchesDispatched.Add(1)
-	return s.clust.client.Execute(callCtx, lease.URL, req)
+	resp, traffic, err := s.clust.client.ExecuteWith(callCtx, lease.URL, req, s.wireCodec(lease))
+	switch traffic.Codec {
+	case cluster.CodecBinary:
+		s.stats.WireBinaryBatches.Add(1)
+		s.stats.WireBinaryBytesOut.Add(traffic.BytesOut)
+		s.stats.WireBinaryBytesIn.Add(traffic.BytesIn)
+	case cluster.CodecJSON:
+		s.stats.WireJSONBatches.Add(1)
+		s.stats.WireJSONBytesOut.Add(traffic.BytesOut)
+		s.stats.WireJSONBytesIn.Add(traffic.BytesIn)
+	}
+	return resp, err
 }
 
 // runBatchLocally is the no-live-workers fallback: the coordinator's own

@@ -71,7 +71,7 @@ func startWorker(t *testing.T, coordURL string, runner Runner) *clusterNode {
 	hb := &cluster.Heartbeater{
 		Client:         cluster.NewClient(nil),
 		CoordinatorURL: coordURL,
-		Self:           cluster.RegisterRequest{ID: ts.URL, URL: ts.URL, Capacity: 1},
+		Self:           cluster.RegisterRequest{ID: ts.URL, URL: ts.URL, Capacity: 1, Codecs: cluster.SupportedCodecs()},
 		Interval:       cfg.Cluster.HeartbeatInterval(),
 	}
 	go hb.Run(ctx)
@@ -212,6 +212,12 @@ func TestClusterKillWorkerMidSweep(t *testing.T) {
 	}
 	if n := coord.srv.Stats().RemoteConfigs.Load(); n == 0 {
 		t.Fatal("no configuration was executed remotely")
+	}
+	if n := coord.srv.Stats().WireBinaryBatches.Load(); n == 0 {
+		t.Fatal("workers advertised the binary codec but no batch went over the binary wire")
+	}
+	if n := coord.srv.Stats().WireBinaryBytesOut.Load(); n == 0 {
+		t.Fatal("binary batches were counted but no outbound wire bytes were")
 	}
 
 	// Fetch the completed results from the coordinator.
@@ -398,6 +404,116 @@ func TestWorkerExecuteEndpoint(t *testing.T) {
 	r.Body.Close()
 	if r.StatusCode != http.StatusNotFound {
 		t.Fatalf("standalone execute endpoint: %d, want 404", r.StatusCode)
+	}
+}
+
+// TestClusterLegacyWorkerJSONFallback is the mixed-version acceptance
+// test: a worker from a build that predates codec negotiation registers
+// without a codecs list, and the coordinator must finish the sweep over
+// the JSON wire rather than speak binary at a peer that never offered it.
+func TestClusterLegacyWorkerJSONFallback(t *testing.T) {
+	coord := startCoordinator(t, "")
+
+	cfg := config.Daemon{
+		Workers: 1,
+		Cluster: config.Cluster{
+			Mode:                config.ModeWorker,
+			CoordinatorURL:      coord.ts.URL,
+			HeartbeatIntervalMS: 50,
+		},
+	}.WithDefaults()
+	s := New(cfg, nil)
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	ctx, cancel := context.WithCancel(context.Background())
+	hb := &cluster.Heartbeater{
+		Client:         cluster.NewClient(nil),
+		CoordinatorURL: coord.ts.URL,
+		// No Codecs field: exactly what an old worker binary sends.
+		Self:     cluster.RegisterRequest{ID: ts.URL, URL: ts.URL, Capacity: 1},
+		Interval: cfg.Cluster.HeartbeatInterval(),
+	}
+	go hb.Run(ctx)
+	legacy := &clusterNode{srv: s, ts: ts, stop: cancel}
+	t.Cleanup(func() { legacy.shutdown(t) })
+	waitForWorkers(t, coord, 1)
+
+	req := chaosSweep
+	req.Benchmarks = []string{"vqe_n13"}
+	req.Async = false
+	view := decode[JobView](t, postJSON(t, coord.ts.URL+"/v1/sweep", req))
+	if view.State != JobDone || len(view.Results) != 12 {
+		t.Fatalf("mixed-version sweep: state=%s results=%d, want done/12", view.State, len(view.Results))
+	}
+	if n := coord.srv.Stats().RemoteConfigs.Load(); n == 0 {
+		t.Fatal("legacy worker executed nothing remotely")
+	}
+	if n := coord.srv.Stats().WireJSONBatches.Load(); n == 0 {
+		t.Fatal("no batch fell back to the JSON wire for the legacy worker")
+	}
+	if n := coord.srv.Stats().WireBinaryBatches.Load(); n != 0 {
+		t.Fatalf("%d batches went over the binary wire to a worker that never advertised it", n)
+	}
+}
+
+// TestWorkerExecuteCancelReturns503: when the coordinator hangs up
+// mid-batch, the worker must answer with an explicit 503, not the empty
+// 200 it used to write — a coordinator whose cancel came from a proxy
+// hiccup rather than its own dispatcher would misread the empty 200 as a
+// zero-result success.
+func TestWorkerExecuteCancelReturns503(t *testing.T) {
+	victim := &victimRunner{started: make(chan struct{})}
+	cfg := config.Daemon{
+		Workers: 1,
+		Cluster: config.Cluster{Mode: config.ModeWorker, CoordinatorURL: "http://unused:1"},
+	}.WithDefaults()
+	s := New(cfg, victim)
+	s.Start()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	})
+
+	spec, err := json.Marshal(runSpec{Benchmark: "vqe_n13", Opts: rescq.Options{Runs: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := cluster.ExecuteRequest{JobID: "job-000001", Configs: []cluster.ExecuteConfig{
+		{Index: 0, Spec: spec}, {Index: 1, Spec: spec},
+	}}
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	hr := httptest.NewRequest(http.MethodPost, cluster.ExecutePath, bytes.NewReader(body)).WithContext(ctx)
+	hr.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+
+	done := make(chan struct{})
+	go func() {
+		s.handleExecute(rec, hr)
+		close(done)
+	}()
+	select {
+	case <-victim.started: // config 0 is on the engine
+	case <-time.After(10 * time.Second):
+		t.Fatal("batch never reached the runner")
+	}
+	cancel() // the coordinator hangs up mid-batch
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("handler did not return after cancellation")
+	}
+
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("cancelled batch answered %d, want 503", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "batch abandoned") {
+		t.Fatalf("503 body = %q, want an explicit abandonment error", rec.Body.String())
 	}
 }
 

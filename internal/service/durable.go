@@ -46,7 +46,7 @@ func (s *Server) AttachStore(dir string) (ReplayStats, error) {
 	if s.store != nil {
 		return ReplayStats{}, errors.New("service: store already attached")
 	}
-	st, err := store.Open(dir, store.Options{RetainJobs: maxFinishedJobs})
+	st, err := store.Open(dir, store.Options{RetainJobs: maxFinishedJobs, Codec: s.cfg.WALCodec})
 	if err != nil {
 		return ReplayStats{}, err
 	}

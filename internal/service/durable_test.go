@@ -16,6 +16,7 @@ import (
 
 	rescq "repro"
 	"repro/internal/config"
+	"repro/internal/store"
 )
 
 // gatedRunner serves one engine call per token and aborts the in-flight
@@ -219,6 +220,116 @@ func TestRestartResumeAfterCrash(t *testing.T) {
 	ashCtx, ashCancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer ashCancel()
 	a.Shutdown(ashCtx)
+}
+
+// TestRestartResumeFromJSONSeededStore is the codec-migration acceptance
+// test: a daemon pinned to the JSON debug codec is interrupted mid-sweep,
+// and a binary-default daemon reboots on the same store dir. The JSON-era
+// records must replay unchanged (same job id, same completed prefix), the
+// open must migrate the files to the binary codec, and the resumed result
+// set must stay byte-identical to an uninterrupted run.
+func TestRestartResumeFromJSONSeededStore(t *testing.T) {
+	dir := t.TempDir()
+
+	// --- Server A: a JSON-codec daemon runs 2 of 4 configurations. ---
+	runnerA := newGatedRunner()
+	a := New(config.Daemon{Workers: 1, WALCodec: store.CodecJSON}, runnerA)
+	if _, err := a.AttachStore(dir); err != nil {
+		t.Fatal(err)
+	}
+	a.Start()
+	tsA := httptest.NewServer(a.Handler())
+	defer tsA.Close()
+	if st, ok := a.StoreStats(); !ok || st.Codec != store.CodecJSON {
+		t.Fatalf("server A codec = %q, want json", st.Codec)
+	}
+
+	submitted := decode[JobView](t, postJSON(t, tsA.URL+"/v1/sweep", fourConfigSweep))
+	runnerA.tokens <- struct{}{}
+	runnerA.tokens <- struct{}{}
+	pollUntil(t, "two configurations to persist", func() bool {
+		resp, err := http.Get(tsA.URL + "/v1/jobs/" + submitted.ID)
+		if err != nil {
+			return false
+		}
+		return decode[JobView](t, resp).Progress.Done == 2
+	})
+	a.closeStore() // crash-style abandonment; only the flock is released
+
+	// --- Server B: binary-default daemon on the JSON-era store dir. ---
+	runnerB := newGatedRunner()
+	b := New(config.Daemon{Workers: 1}, runnerB)
+	rs, err := b.AttachStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Jobs != 1 || rs.Results != 2 || rs.Reenqueued != 1 {
+		t.Fatalf("replay stats = %+v, want 1 job / 2 results / 1 re-enqueued", rs)
+	}
+	// The first Open migrated the JSON-era files forward.
+	if st, ok := b.StoreStats(); !ok || st.Codec != store.CodecBinary {
+		t.Fatalf("server B codec = %q, want binary after migration", st.Codec)
+	}
+	b.Start()
+	tsB := httptest.NewServer(b.Handler())
+	defer tsB.Close()
+
+	runnerB.tokens <- struct{}{}
+	runnerB.tokens <- struct{}{}
+	final := waitForJob(t, tsB.URL, submitted.ID)
+	if final.State != JobDone || final.Progress.Done != 4 {
+		t.Fatalf("resumed job = %+v", final)
+	}
+	if got := runnerB.calls.Load(); got != 2 {
+		t.Fatalf("engine ran %d times after migration, want 2 (configs 0-1 must replay from the JSON records)", got)
+	}
+
+	// Byte-identical to an uninterrupted control run.
+	c := New(config.Daemon{Workers: 1}, &countingRunner{})
+	c.Start()
+	tsC := httptest.NewServer(c.Handler())
+	defer tsC.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		c.Shutdown(ctx)
+	}()
+	control := fourConfigSweep
+	control.Async = false
+	controlView := decode[JobView](t, postJSON(t, tsC.URL+"/v1/sweep", control))
+	resumedView := decode[JobView](t, get(t, tsB.URL+"/v1/jobs/"+submitted.ID))
+	got, _ := json.Marshal(resumedView.Results)
+	want, _ := json.Marshal(controlView.Results)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("migrated+resumed results differ from uninterrupted run:\nresumed: %s\ncontrol: %s", got, want)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := b.Shutdown(ctx); err != nil {
+		t.Fatalf("B shutdown: %v", err)
+	}
+	close(runnerA.tokens)
+	ashCtx, ashCancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer ashCancel()
+	a.Shutdown(ashCtx)
+
+	// The store dir is binary end to end now: a third open replays the
+	// migrated snapshot and appends binary without another compaction.
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if st.Stats().Codec != store.CodecBinary {
+		t.Fatalf("reopened codec = %q, want binary", st.Stats().Codec)
+	}
+	for _, rj := range st.Replayed() {
+		if rj.Job.ID == submitted.ID && len(rj.Results) == 4 {
+			return
+		}
+	}
+	t.Fatalf("job %s with 4 results not found after migration", submitted.ID)
 }
 
 // TestWALHistoryAndCacheReseed: finished jobs replay as inspectable

@@ -1,19 +1,30 @@
 // Package store implements rescqd's durability layer: an append-only,
-// crash-safe on-disk job + result log (a JSON-lines write-ahead log with
+// crash-safe on-disk job + result log (a write-ahead log with snapshot
 // compaction) that lets the daemon survive a restart without dropping
 // queued jobs or re-burning completed simulation work.
 //
-// # Log format
+// # Log formats
 //
-// The log is a single file of newline-delimited JSON records, one record
-// per line, appended in arrival order:
+// The store speaks two record codecs, selected per-file by sniffing the
+// first bytes at replay time, so any mix of files from any daemon version
+// reads back correctly:
 //
-//	{"type":"job","id":"job-000001","kind":"sweep","created":...,"specs":[...]}
-//	{"type":"result","job":"job-000001","index":0,"key":"<rescq.CacheKey>","result":{...}}
-//	{"type":"done","job":"job-000001","state":"done"}
+//   - binary (the default): the file opens with an 8-byte magic+version
+//     header, then length-prefixed frames — uvarint payload length, the
+//     payload (kind byte, flags byte, length-prefixed fields, flate-
+//     compressed when it pays), and a CRC32 of the payload. Length+CRC
+//     framing makes torn tails and partial appends detectable by
+//     construction.
+//
+//   - json (debug/compat): headerless newline-delimited JSON records,
+//     the format of every log written before the binary codec existed:
+//
+//     {"type":"job","id":"job-000001","kind":"sweep","created":...,"specs":[...]}
+//     {"type":"result","job":"job-000001","index":0,"key":"<rescq.CacheKey>","result":{...}}
+//     {"type":"done","job":"job-000001","state":"done"}
 //
 // The store is deliberately ignorant of the payload shapes: specs and
-// results travel as json.RawMessage, so the service layer owns the schema
+// results travel as opaque bytes, so the service layer owns the schema
 // and the store owns durability. Result records carry the canonical
 // rescq.CacheKey of their configuration, which is what lets the daemon
 // re-seed its result cache on replay and coalesce identical work across
@@ -25,22 +36,29 @@
 // on the log, so a second process on the same directory fails fast with
 // ErrLocked instead of interleaving writes; the kernel releases the lock
 // on any process death. Every record is written with a single O_APPEND
-// Write call of one complete line, so a crash (SIGKILL included) can
-// only ever truncate the final record.
-// Replay tolerates exactly that: a trailing partial or corrupt line is
-// counted and discarded, every complete record before it is recovered. A
-// record that fails to decode mid-log (torn by an external editor, not a
-// crash) ends replay at that point rather than guessing.
+// Write call of one complete frame or line, so a crash (SIGKILL included)
+// can only ever truncate the final record; a short or failed write is
+// truncated back off the log immediately so a recovered disk appends onto
+// a clean tail, never onto torn garbage.
+// Replay tolerates exactly the crash signature: a trailing partial or
+// corrupt record is counted and discarded, every complete record before
+// it is recovered. A record that fails to decode mid-log (torn by an
+// external editor, not a crash) ends replay at that point rather than
+// guessing.
 //
 // # Compaction
 //
-// The in-memory index mirrors the log: jobs, their results, terminal
-// states. Compact rewrites the log from that index, dropping jobs beyond
-// the terminal-retention bound and any superseded duplicate records, then
-// atomically renames the rewrite over the log. Open compacts automatically
-// when the replayed log carries enough garbage to matter, and Append*
-// triggers a background-free inline compaction when the record count since
-// the last compaction exceeds a threshold.
+// The in-memory index mirrors the on-disk state: jobs, their results,
+// terminal states. Compact writes the index into a snapshot file
+// (atomically renamed over the previous one), then truncates the log in
+// place, so replay cost is bounded by live state: Open reads the snapshot
+// and the log delta, and the log holds only records appended since the
+// last compaction. Compaction always emits the configured codec, which is
+// how an old JSON log migrates forward on its first binary-default Open.
+// Open compacts automatically when the replayed state carries enough
+// garbage to matter (or is in the wrong codec), and Append* triggers an
+// inline compaction when the records since the last one exceed a
+// threshold.
 package store
 
 import (
@@ -59,7 +77,8 @@ import (
 	"repro/internal/fault"
 )
 
-// Record types, the "type" field of every log line.
+// Record types, the "type" field of every JSON log line (binary frames
+// carry the equivalent kind byte).
 const (
 	recJob    = "job"
 	recResult = "result"
@@ -68,7 +87,9 @@ const (
 
 // Failpoints on the WAL's write paths (see internal/fault). An injected
 // "disk full" here is how the chaos suite proves the daemon degrades to
-// lossy serving instead of 5xx-ing submissions.
+// lossy serving instead of 5xx-ing submissions; an injected "short"
+// message additionally simulates a partially-completed write so the
+// torn-tail rollback is exercised end to end.
 const (
 	// FaultWrite fires in every record append (and in Probe, so a probe
 	// sees the same simulated disk the appends do).
@@ -121,13 +142,25 @@ type ReplayedJob struct {
 // log ended.
 func (r *ReplayedJob) Terminal() bool { return r.State != "" }
 
-// Stats is a point-in-time size snapshot of the store.
+// Stats is a point-in-time size snapshot of the store. Records and Bytes
+// cover the snapshot plus the log delta — the full on-disk state a replay
+// reads.
 type Stats struct {
-	Jobs        int   `json:"jobs"`         // jobs in the index
-	Records     int   `json:"records"`      // records in the log file
-	Bytes       int64 `json:"bytes"`        // log file size
-	Compactions int64 `json:"compactions"`  // lifetime compaction count
-	TailDropped int   `json:"tail_dropped"` // partial/corrupt tail records discarded at Open
+	Jobs        int    `json:"jobs"`         // jobs in the index
+	Records     int    `json:"records"`      // records on disk (snapshot + log)
+	Bytes       int64  `json:"bytes"`        // on-disk size (snapshot + log)
+	Compactions int64  `json:"compactions"`  // lifetime compaction count
+	TailDropped int    `json:"tail_dropped"` // partial/corrupt tail records discarded at Open
+	Codec       string `json:"codec"`        // the log's active append codec
+
+	SnapshotRecords int   `json:"snapshot_records"` // records in the snapshot file
+	SnapshotBytes   int64 `json:"snapshot_bytes"`   // snapshot file size
+
+	// Per-codec append accounting since Open, for the /metrics counters.
+	AppendsBinary     int64 `json:"appends_binary"`
+	AppendsJSON       int64 `json:"appends_json"`
+	AppendBytesBinary int64 `json:"append_bytes_binary"`
+	AppendBytesJSON   int64 `json:"append_bytes_json"`
 }
 
 // Options tunes a Store; the zero value is production-sensible.
@@ -139,6 +172,11 @@ type Options struct {
 	// CompactEvery triggers an inline compaction after this many appended
 	// records; 0 means the default 8192.
 	CompactEvery int
+	// Codec selects the append format: CodecBinary (the default) or
+	// CodecJSON (the debug/compat path). Replay always sniffs per file,
+	// so the knob only governs what new records look like; a log in the
+	// other codec is migrated at the first compaction.
+	Codec string
 }
 
 func (o Options) withDefaults() Options {
@@ -151,8 +189,15 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// WALName is the log's filename inside the store directory.
+// WALName is the log's filename inside the store directory. (The name
+// predates the binary codec: a binary-codec log keeps it, and announces
+// itself with the magic header instead.)
 const WALName = "wal.jsonl"
+
+// SnapName is the compaction snapshot's filename inside the store
+// directory: the full live state as of the last compaction, atomically
+// replaced, replayed before the log delta.
+const SnapName = "wal.snap"
 
 // Store is the durable job + result log. All methods are safe for
 // concurrent use.
@@ -165,20 +210,36 @@ type Store struct {
 	jobs  map[string]*ReplayedJob
 	order []string // job ids in first-seen order
 
-	records     int // records currently in the log file (including garbage)
-	sinceComp   int // records appended since the last compaction
-	bytes       int64
+	codec       string // the log's active append codec
+	records     int    // records currently in the log file (including garbage)
+	sinceComp   int    // records appended since the last compaction
+	bytes       int64  // log file size
+	snapRecords int    // records in the snapshot file
+	snapBytes   int64  // snapshot file size
+	torn        bool   // a failed append left a tail we could not truncate yet
 	compactions int64
 	tailDropped int
+
+	appendsBinary     int64
+	appendsJSON       int64
+	appendBytesBinary int64
+	appendBytesJSON   int64
 
 	replayed []ReplayedJob // snapshot taken at Open, in log order
 }
 
-// Open opens (creating if needed) the store in dir and replays the log.
-// A partial or corrupt tail record — the signature of a crash mid-append —
-// is discarded; everything before it is recovered.
+// Open opens (creating if needed) the store in dir and replays the
+// snapshot plus the log delta. A partial or corrupt tail record in the
+// log — the signature of a crash mid-append — is discarded; everything
+// before it is recovered. The snapshot is written atomically, so any
+// damage there is fatal rather than tolerated.
 func Open(dir string, opts Options) (*Store, error) {
 	opts = opts.withDefaults()
+	codec, err := normalizeCodec(opts.Codec)
+	if err != nil {
+		return nil, err
+	}
+	opts.Codec = codec
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
@@ -197,26 +258,63 @@ func Open(dir string, opts Options) (*Store, error) {
 		return nil, fmt.Errorf("store: %s: %w", path, err)
 	}
 	s := &Store{opts: opts, path: path, f: f, jobs: make(map[string]*ReplayedJob)}
-	jobs, records, dropped, err := Replay(f)
+
+	// Snapshot first, then the log delta, merged into one replay state.
+	st := newReplayState()
+	snapPath := filepath.Join(dir, SnapName)
+	snapCodec := ""
+	if sf, serr := os.Open(snapPath); serr == nil {
+		snapCodec, serr = replayStream(st, sf)
+		sf.Close()
+		if serr == nil && st.dropped > 0 {
+			serr = fmt.Errorf("%d torn records in an atomically-written file", st.dropped)
+		}
+		if serr != nil {
+			f.Close()
+			return nil, fmt.Errorf("store: replay snapshot %s: %w", snapPath, serr)
+		}
+		s.snapRecords = st.records
+		if fi, err := os.Stat(snapPath); err == nil {
+			s.snapBytes = fi.Size()
+		}
+	} else if !errors.Is(serr, os.ErrNotExist) {
+		f.Close()
+		return nil, fmt.Errorf("store: %w", serr)
+	}
+	logCodec, err := replayStream(st, f)
 	if err != nil {
 		f.Close()
 		return nil, fmt.Errorf("store: replay %s: %w", path, err)
 	}
-	s.records = records
-	s.tailDropped = dropped
-	for i := range jobs {
-		j := jobs[i]
-		s.jobs[j.Job.ID] = &jobs[i]
-		s.order = append(s.order, j.Job.ID)
+	s.records = st.records - s.snapRecords
+	s.tailDropped = st.dropped
+	for _, id := range st.order {
+		s.jobs[id] = st.jobs[id]
+		s.order = append(s.order, id)
 	}
-	s.replayed = append([]ReplayedJob(nil), jobs...)
-	if st, err := f.Stat(); err == nil {
-		s.bytes = st.Size()
+	s.replayed = st.sorted()
+	if fi, err := f.Stat(); err == nil {
+		s.bytes = fi.Size()
 	}
-	// A freshly replayed log that carries garbage (dropped tail, evictable
-	// jobs, or duplicate records) is compacted right away so a crash-loop
-	// cannot grow the file without bound.
-	if dropped > 0 || len(s.order) > opts.RetainJobs || records > s.liveRecords() {
+	s.codec = logCodec
+	if s.codec == "" {
+		// Empty log: adopt the configured codec and stamp the header.
+		s.codec = opts.Codec
+		if s.codec == CodecBinary && s.bytes == 0 {
+			n, werr := f.Write(walMagic[:])
+			if werr != nil {
+				f.Close()
+				return nil, fmt.Errorf("store: write log header: %w", werr)
+			}
+			s.bytes = int64(n)
+		}
+	}
+	// A freshly replayed state that carries garbage (dropped tail,
+	// evictable jobs, duplicate records) or files in the wrong codec is
+	// compacted right away, so a crash-loop cannot grow the files without
+	// bound and a JSON-era log migrates forward on its first Open.
+	if s.tailDropped > 0 || len(s.order) > opts.RetainJobs || st.records > s.liveRecords() ||
+		s.codec != opts.Codec || (snapCodec != "" && snapCodec != opts.Codec) {
 		if err := s.compactLocked(); err != nil {
 			f.Close()
 			return nil, err
@@ -237,11 +335,18 @@ func (s *Store) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return Stats{
-		Jobs:        len(s.jobs),
-		Records:     s.records,
-		Bytes:       s.bytes,
-		Compactions: s.compactions,
-		TailDropped: s.tailDropped,
+		Jobs:              len(s.jobs),
+		Records:           s.snapRecords + s.records,
+		Bytes:             s.snapBytes + s.bytes,
+		Compactions:       s.compactions,
+		TailDropped:       s.tailDropped,
+		Codec:             s.codec,
+		SnapshotRecords:   s.snapRecords,
+		SnapshotBytes:     s.snapBytes,
+		AppendsBinary:     s.appendsBinary,
+		AppendsJSON:       s.appendsJSON,
+		AppendBytesBinary: s.appendBytesBinary,
+		AppendBytesJSON:   s.appendBytesJSON,
 	}
 }
 
@@ -315,24 +420,66 @@ var errClosed = errors.New("store: closed")
 // ErrLocked is returned by Open when another live process holds the WAL.
 var ErrLocked = errors.New("wal locked by another process")
 
+// rollbackTailLocked truncates a partial append back off the log so the
+// next successful write lands on a clean tail. If even the truncate fails
+// the log is flagged torn and the next append retries it first — appends
+// are refused until the tail is clean again.
+func (s *Store) rollbackTailLocked() {
+	if err := s.f.Truncate(s.bytes); err != nil {
+		s.torn = true
+	} else {
+		s.torn = false
+	}
+}
+
 func (s *Store) writeLocked(v any) error {
+	frame, err := encodeRecord(s.codec, v)
+	if err != nil {
+		return err
+	}
 	if err := fault.Check(FaultWrite); err != nil {
+		// An injected "short" message simulates a write that only
+		// partially completed (ENOSPC mid-record): half the frame lands
+		// on disk and the rollback must clean it up, exactly as for an
+		// organic short write below.
+		var fe *fault.Error
+		if errors.As(err, &fe) && fe.Msg == "short" && len(frame) > 1 {
+			if n, _ := s.f.Write(frame[:len(frame)/2]); n > 0 {
+				s.rollbackTailLocked()
+			}
+		}
 		return fmt.Errorf("store: append: %w", err)
 	}
-	line, err := json.Marshal(v)
-	if err != nil {
-		return fmt.Errorf("store: encode record: %w", err)
+	if s.torn {
+		// A previous failed append left a tail we could not truncate;
+		// retry before writing anything after it.
+		if terr := s.f.Truncate(s.bytes); terr != nil {
+			return fmt.Errorf("store: append: torn tail: %w", terr)
+		}
+		s.torn = false
 	}
-	line = append(line, '\n')
-	// One complete line per Write call: a crash can truncate the final
+	// One complete frame per Write call: a crash can truncate the final
 	// record but never interleave two.
-	n, err := s.f.Write(line)
-	s.bytes += int64(n)
-	if err != nil {
-		return fmt.Errorf("store: append: %w", err)
+	n, werr := s.f.Write(frame)
+	if werr != nil || n != len(frame) {
+		if n > 0 {
+			s.rollbackTailLocked()
+		}
+		if werr == nil {
+			werr = io.ErrShortWrite
+		}
+		return fmt.Errorf("store: append: %w", werr)
 	}
+	s.bytes += int64(n)
 	s.records++
 	s.sinceComp++
+	if s.codec == CodecJSON {
+		s.appendsJSON++
+		s.appendBytesJSON += int64(n)
+	} else {
+		s.appendsBinary++
+		s.appendBytesBinary += int64(n)
+	}
 	return nil
 }
 
@@ -355,8 +502,9 @@ func (s *Store) maybeCompactLocked() error {
 	return s.compactLocked()
 }
 
-// Compact rewrites the log from the in-memory index, evicting terminal
-// jobs beyond the retention bound, and atomically replaces the log file.
+// Compact writes the in-memory index into the snapshot file (evicting
+// terminal jobs beyond the retention bound), atomically replaces the
+// previous snapshot, and truncates the log in place.
 func (s *Store) Compact() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -387,20 +535,25 @@ func (s *Store) compactLocked() error {
 		s.order = kept
 	}
 
-	tmp, err := os.CreateTemp(filepath.Dir(s.path), WALName+".compact-*")
+	// Write the full live state into a fresh snapshot, in the configured
+	// codec — this is also where a log in the old codec migrates forward.
+	dir := filepath.Dir(s.path)
+	tmp, err := os.CreateTemp(dir, SnapName+".tmp-*")
 	if err != nil {
 		return fmt.Errorf("store: compact: %w", err)
 	}
 	defer os.Remove(tmp.Name()) // no-op after the successful rename
 	w := bufio.NewWriter(tmp)
+	if s.opts.Codec == CodecBinary {
+		w.Write(walMagic[:])
+	}
 	records := 0
 	emit := func(v any) bool {
-		line, err := json.Marshal(v)
-		if err == nil {
-			w.Write(line)
-			err = w.WriteByte('\n')
-		}
+		frame, err := encodeRecord(s.opts.Codec, v)
 		if err != nil {
+			return false
+		}
+		if _, err := w.Write(frame); err != nil {
 			return false
 		}
 		records++
@@ -428,27 +581,42 @@ func (s *Store) compactLocked() error {
 		tmp.Close()
 		return fmt.Errorf("store: compact: %w", err)
 	}
-	st, err := tmp.Stat()
+	fi, err := tmp.Stat()
 	if err != nil {
 		tmp.Close()
 		return fmt.Errorf("store: compact: %w", err)
 	}
-	// Carry the single-writer lock onto the new inode before it becomes
-	// the log; the old inode's lock dies with its fd below.
-	if err := flockExclusive(tmp); err != nil {
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, SnapName)); err != nil {
 		tmp.Close()
 		return fmt.Errorf("store: compact: %w", err)
 	}
-	if err := os.Rename(tmp.Name(), s.path); err != nil {
-		tmp.Close()
-		return fmt.Errorf("store: compact: %w", err)
+	tmp.Close()
+
+	// The snapshot now holds everything: empty the log in place. The fd,
+	// its flock and the O_APPEND mode all stay — a crash between the
+	// rename and this truncate merely leaves stale log records that the
+	// next replay merges idempotently (duplicates are dropped).
+	if err := s.f.Truncate(0); err != nil {
+		return fmt.Errorf("store: compact: truncate log: %w", err)
 	}
-	s.f.Close()
-	s.f = tmp
-	s.records = records
+	s.bytes = 0
+	s.codec = s.opts.Codec
+	if s.codec == CodecBinary {
+		n, werr := s.f.Write(walMagic[:])
+		if werr != nil || n != len(walMagic) {
+			if werr == nil {
+				werr = io.ErrShortWrite
+			}
+			return fmt.Errorf("store: compact: write log header: %w", werr)
+		}
+		s.bytes = int64(n)
+	}
+	s.records = 0
 	s.sinceComp = 0
-	s.bytes = st.Size()
+	s.snapRecords = records
+	s.snapBytes = fi.Size()
 	s.compactions++
+	s.torn = false
 	return nil
 }
 
@@ -505,31 +673,109 @@ func (s *Store) Close() error {
 	return err
 }
 
-// Replay reconstructs jobs from a log stream. It returns the jobs in
-// first-seen order, the number of complete records read, and the number of
-// partial/corrupt records discarded at the tail. Replay is tolerant of the
-// crash signature (a torn final line) and of record interleavings: results
-// and done markers arriving before their job record are buffered and
-// merged, duplicate and out-of-order result indices are dropped, and a
-// second job record for a known id is ignored. Orphan results whose job
-// record never appears are attached to a synthetic spec-less job so their
-// cache keys remain recoverable.
-func Replay(r io.Reader) ([]ReplayedJob, int, int, error) {
-	jobs := make(map[string]*ReplayedJob)
-	var order []string
-	get := func(id string) *ReplayedJob {
-		j, ok := jobs[id]
-		if !ok {
-			j = &ReplayedJob{Job: JobRecord{Type: recJob, ID: id}}
-			jobs[id] = j
-			order = append(order, id)
-		}
-		return j
-	}
+// replayState accumulates jobs across one or more replayed streams (the
+// snapshot, then the log delta).
+type replayState struct {
+	jobs    map[string]*ReplayedJob
+	order   []string // first-seen order
+	records int
+	dropped int
+}
 
+func newReplayState() *replayState {
+	return &replayState{jobs: make(map[string]*ReplayedJob)}
+}
+
+func (st *replayState) get(id string) *ReplayedJob {
+	j, ok := st.jobs[id]
+	if !ok {
+		j = &ReplayedJob{Job: JobRecord{Type: recJob, ID: id}}
+		st.jobs[id] = j
+		st.order = append(st.order, id)
+	}
+	return j
+}
+
+// apply merges one decoded record into the state, enforcing the replay
+// semantics shared by both codecs: results and done markers arriving
+// before their job record are buffered under a synthetic job, duplicate
+// and out-of-order result indices are dropped, and the first job record /
+// done marker for an id wins. An error means the record is invalid
+// (missing its id), not that the merge failed.
+func (st *replayState) apply(rec any) error {
+	switch r := rec.(type) {
+	case JobRecord:
+		if r.ID == "" {
+			return errors.New("job record without id")
+		}
+		r.Type = recJob
+		j := st.get(r.ID)
+		if j.Job.Specs == nil {
+			created := j.Job.Created
+			j.Job = r
+			if r.Created.IsZero() {
+				j.Job.Created = created
+			}
+		}
+	case ResultRecord:
+		if r.JobID == "" {
+			return errors.New("result record without job id")
+		}
+		r.Type = recResult
+		j := st.get(r.JobID)
+		if r.Index == len(j.Results) {
+			j.Results = append(j.Results, r)
+		}
+	case DoneRecord:
+		if r.JobID == "" {
+			return errors.New("done record without job id")
+		}
+		r.Type = recDone
+		j := st.get(r.JobID)
+		if j.State == "" {
+			j.State, j.Error = r.State, r.Error
+		}
+	default:
+		return fmt.Errorf("unknown record %T", rec)
+	}
+	st.records++
+	return nil
+}
+
+// sorted returns the accumulated jobs ordered by JobIDLess.
+func (st *replayState) sorted() []ReplayedJob {
+	out := make([]ReplayedJob, 0, len(st.order))
+	for _, id := range st.order {
+		out = append(out, *st.jobs[id])
+	}
+	sort.SliceStable(out, func(a, b int) bool { return JobIDLess(out[a].Job.ID, out[b].Job.ID) })
+	return out
+}
+
+// replayStream sniffs the stream's codec and replays it into st,
+// reporting which codec it found ("" for an empty stream).
+func replayStream(st *replayState, r io.Reader) (string, error) {
+	br := bufio.NewReaderSize(r, 64*1024)
+	codec, err := sniffCodec(br)
+	if err != nil {
+		return "", err
+	}
+	switch codec {
+	case "":
+		return "", nil
+	case CodecBinary:
+		return codec, replayBinary(st, br)
+	default:
+		return codec, replayJSON(st, br)
+	}
+}
+
+// replayJSON replays a newline-delimited JSON log. Garbage is tolerated
+// only as the final (torn) tail: a complete record following it proves
+// mid-log corruption and fails the replay.
+func replayJSON(st *replayState, r *bufio.Reader) error {
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 64*1024), 64*1024*1024)
-	records, dropped := 0, 0
+	sc.Buffer(make([]byte, 64*1024), maxRecordBytes)
 	var pendingErr error
 	for sc.Scan() {
 		line := bytes.TrimSpace(sc.Bytes())
@@ -542,73 +788,100 @@ func Replay(r io.Reader) ([]ReplayedJob, int, int, error) {
 		if err := json.Unmarshal(line, &head); err != nil {
 			// Only acceptable as the torn final record of a crash; if more
 			// complete records follow, the log is corrupt mid-stream.
-			dropped++
-			pendingErr = fmt.Errorf("store: corrupt record %d: %w", records+dropped, err)
+			st.dropped++
+			pendingErr = fmt.Errorf("store: corrupt record %d: %w", st.records+st.dropped, err)
 			continue
 		}
 		if pendingErr != nil {
-			return nil, records, dropped, pendingErr
+			return pendingErr
 		}
+		var rec any
 		switch head.Type {
 		case recJob:
-			var rec JobRecord
-			if err := json.Unmarshal(line, &rec); err != nil || rec.ID == "" {
-				dropped++
-				pendingErr = fmt.Errorf("store: bad job record %d", records+dropped)
-				continue
-			}
-			j := get(rec.ID)
-			if j.Job.Specs == nil {
-				created := j.Job.Created
-				j.Job = rec
-				if rec.Created.IsZero() {
-					j.Job.Created = created
-				}
+			var jr JobRecord
+			if err := json.Unmarshal(line, &jr); err == nil {
+				rec = jr
 			}
 		case recResult:
-			var rec ResultRecord
-			if err := json.Unmarshal(line, &rec); err != nil || rec.JobID == "" {
-				dropped++
-				pendingErr = fmt.Errorf("store: bad result record %d", records+dropped)
-				continue
-			}
-			j := get(rec.JobID)
-			if rec.Index == len(j.Results) {
-				j.Results = append(j.Results, rec)
+			var rr ResultRecord
+			if err := json.Unmarshal(line, &rr); err == nil {
+				rec = rr
 			}
 		case recDone:
-			var rec DoneRecord
-			if err := json.Unmarshal(line, &rec); err != nil || rec.JobID == "" {
-				dropped++
-				pendingErr = fmt.Errorf("store: bad done record %d", records+dropped)
-				continue
-			}
-			j := get(rec.JobID)
-			if j.State == "" {
-				j.State, j.Error = rec.State, rec.Error
+			var dr DoneRecord
+			if err := json.Unmarshal(line, &dr); err == nil {
+				rec = dr
 			}
 		default:
-			dropped++
+			st.dropped++
 			pendingErr = fmt.Errorf("store: unknown record type %q", head.Type)
 			continue
 		}
-		records++
+		if rec == nil || st.apply(rec) != nil {
+			st.dropped++
+			pendingErr = fmt.Errorf("store: bad %s record %d", head.Type, st.records+st.dropped)
+			continue
+		}
 	}
 	if err := sc.Err(); err != nil {
 		if errors.Is(err, bufio.ErrTooLong) {
 			// An oversized line can only be a torn or hostile tail record;
 			// everything already decoded stands.
-			dropped++
+			st.dropped++
 		} else {
-			return nil, records, dropped, fmt.Errorf("store: read log: %w", err)
+			return fmt.Errorf("store: read log: %w", err)
 		}
 	}
-	out := make([]ReplayedJob, 0, len(order))
-	for _, id := range order {
-		out = append(out, *jobs[id])
+	return nil
+}
+
+// replayBinary replays length-prefixed binary frames (the header magic
+// already consumed by the sniff). An incomplete final frame is the crash
+// signature and is dropped; a complete-but-corrupt frame is dropped only
+// when nothing follows it — bytes after it prove mid-log corruption.
+func replayBinary(st *replayState, br *bufio.Reader) error {
+	for {
+		rec, _, err := readBinaryRecord(br)
+		if err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			if errors.Is(err, io.ErrUnexpectedEOF) {
+				st.dropped++ // torn tail: the crash signature
+				return nil
+			}
+			st.dropped++
+			if _, perr := br.Peek(1); perr == nil {
+				return fmt.Errorf("store: corrupt record %d: %w", st.records+st.dropped, err)
+			}
+			return nil
+		}
+		if aerr := st.apply(rec); aerr != nil {
+			st.dropped++
+			if _, perr := br.Peek(1); perr == nil {
+				return fmt.Errorf("store: bad record %d: %w", st.records+st.dropped, aerr)
+			}
+			return nil
+		}
 	}
-	sort.SliceStable(out, func(a, b int) bool { return JobIDLess(out[a].Job.ID, out[b].Job.ID) })
-	return out, records, dropped, nil
+}
+
+// Replay reconstructs jobs from a log stream in either codec (sniffed
+// from the leading bytes). It returns the jobs in id order, the number of
+// complete records read, and the number of partial/corrupt records
+// discarded at the tail. Replay is tolerant of the crash signature (a
+// torn final record) and of record interleavings: results and done
+// markers arriving before their job record are buffered and merged,
+// duplicate and out-of-order result indices are dropped, and a second job
+// record for a known id is ignored. Orphan results whose job record never
+// appears are attached to a synthetic spec-less job so their cache keys
+// remain recoverable.
+func Replay(r io.Reader) ([]ReplayedJob, int, int, error) {
+	st := newReplayState()
+	if _, err := replayStream(st, r); err != nil {
+		return nil, st.records, st.dropped, err
+	}
+	return st.sorted(), st.records, st.dropped, nil
 }
 
 // JobIDLess orders job ids for replay and listings: ids sharing a prefix

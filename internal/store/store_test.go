@@ -10,7 +10,7 @@ import (
 	"time"
 )
 
-func mustJSON(t *testing.T, v any) json.RawMessage {
+func mustJSON(t testing.TB, v any) json.RawMessage {
 	t.Helper()
 	data, err := json.Marshal(v)
 	if err != nil {
