@@ -84,13 +84,14 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		maxDepth = fs.Int("max-queue-depth", 0, "admission-control bound on unfinished run configurations; beyond it submissions get 429 (0 = default 4096, negative disables)")
 		walCodec = fs.String("wal-codec", "", "WAL record format for a fresh store: binary (default) or json (debug; existing logs replay either way)")
 
-		mode      = fs.String("mode", "", "cluster mode: standalone (default), coordinator, or worker")
-		coordURL  = fs.String("coordinator", "", "coordinator base URL (worker mode only)")
-		advertise = fs.String("advertise", "", "base URL the coordinator dials back for this worker; empty derives http://127.0.0.1:<bound port>")
-		heartbeat = fs.Duration("heartbeat-interval", 0, "worker heartbeat / coordinator sweep cadence (0 = default 2s; cluster modes only)")
-		expiry    = fs.Duration("liveness-expiry", 0, "how long a worker may miss heartbeats before the coordinator expires it (0 = default 3x heartbeat)")
-		batchSize = fs.Int("batch-size", 0, "sweep configurations per dispatch batch (0 = default 8; coordinator only)")
-		wireCodec = fs.String("wire-codec", "", "coordinator<->worker dispatch encoding: binary (default) or json (debug; cluster modes only)")
+		mode        = fs.String("mode", "", "cluster mode: standalone (default), coordinator, or worker")
+		coordURL    = fs.String("coordinator", "", "coordinator base URL (worker mode only)")
+		advertise   = fs.String("advertise", "", "base URL the coordinator dials back for this worker; empty derives http://127.0.0.1:<bound port>")
+		heartbeat   = fs.Duration("heartbeat-interval", 0, "worker heartbeat / coordinator sweep cadence (0 = default 2s; cluster modes only)")
+		expiry      = fs.Duration("liveness-expiry", 0, "how long a worker may miss heartbeats before the coordinator expires it (0 = default 3x heartbeat)")
+		batchSize   = fs.Int("batch-size", 0, "hard cap on sweep configurations per dispatch batch (0 = default 8; coordinator only)")
+		batchTarget = fs.Duration("batch-target", 0, "estimated work the adaptive sizer packs per batch (0 = default 500ms; coordinator only)")
+		wireCodec   = fs.String("wire-codec", "", "coordinator<->worker dispatch encoding: binary (default) or json (debug; cluster modes only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -111,6 +112,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 			HeartbeatIntervalMS: int(heartbeat.Milliseconds()),
 			LivenessExpiryMS:    int(expiry.Milliseconds()),
 			BatchSize:           *batchSize,
+			BatchTargetMS:       int(batchTarget.Milliseconds()),
 			WireCodec:           *wireCodec,
 		},
 	}.WithDefaults()
@@ -213,6 +215,10 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 			Jitter:         cfg.Cluster.HeartbeatJitter,
 			Retries:        cfg.Cluster.DispatchRetries,
 			OnError:        func(err error) { fmt.Fprintln(stderr, "rescqd: heartbeat:", err) },
+			Draining:       svc.WorkerDraining,
+			OnReleased: func() {
+				fmt.Fprintln(stdout, "rescqd: drained and released by coordinator; heartbeating stopped (safe to terminate)")
+			},
 		}
 		go hb.Run(hbCtx)
 	}

@@ -176,6 +176,16 @@ func (c *Client) Register(ctx context.Context, coordinatorURL string, req Regist
 	return resp, err
 }
 
+// Drain asks a worker to retire gracefully: it stops accepting new
+// batches, finishes its in-flight ones, and deregisters from its
+// coordinator once idle. Idempotent — draining an already-draining worker
+// re-acknowledges.
+func (c *Client) Drain(ctx context.Context, workerURL string) (DrainResponse, error) {
+	var resp DrainResponse
+	err := c.postJSON(ctx, joinURL(workerURL, DrainPath), struct{}{}, &resp)
+	return resp, err
+}
+
 // Execute dispatches one batch to a worker and returns its results. Any
 // transport error (a SIGKILLed worker resets the connection) or non-200
 // status marks the batch undelivered; the caller re-dispatches it.
@@ -350,6 +360,13 @@ type Heartbeater struct {
 	Retries int
 	// OnError observes failed heartbeats (nil ignores them).
 	OnError func(error)
+	// Draining, when non-nil, is sampled before each beat; true marks the
+	// heartbeat as a drain announcement. Once the coordinator acks the
+	// drain with Released the loop calls OnReleased (if non-nil) and exits.
+	Draining func() bool
+	// OnReleased observes the coordinator releasing this worker at the end
+	// of a drain (nil ignores it).
+	OnReleased func()
 }
 
 // jitterInterval spreads interval by ±jitter (a fraction in [0, 0.5]),
@@ -366,14 +383,19 @@ func jitterInterval(interval time.Duration, jitter float64) time.Duration {
 	return interval + time.Duration((rand.Float64()*2-1)*span)
 }
 
-// Run blocks, heartbeating until ctx is cancelled. Each register attempt
-// gets a deadline of one interval, so a blackholed coordinator cannot
-// wedge the loop: the worker keeps retrying at cadence and re-registers
-// the moment the network heals.
+// Run blocks, heartbeating until ctx is cancelled or the coordinator
+// releases a drained worker. Each register attempt gets a deadline of one
+// interval, so a blackholed coordinator cannot wedge the loop: the worker
+// keeps retrying at cadence and re-registers the moment the network heals.
 func (h *Heartbeater) Run(ctx context.Context) {
 	backoff := Backoff{Base: h.Interval / 8, Max: h.Interval}
 	for {
-		h.beat(ctx, backoff)
+		if h.beat(ctx, backoff) {
+			if h.OnReleased != nil {
+				h.OnReleased()
+			}
+			return
+		}
 		t := time.NewTimer(jitterInterval(h.Interval, h.Jitter))
 		select {
 		case <-ctx.Done():
@@ -384,23 +406,28 @@ func (h *Heartbeater) Run(ctx context.Context) {
 	}
 }
 
-// beat performs one registration with its bounded retry budget.
-func (h *Heartbeater) beat(ctx context.Context, backoff Backoff) {
+// beat performs one registration with its bounded retry budget, reporting
+// whether the coordinator released this (draining) worker.
+func (h *Heartbeater) beat(ctx context.Context, backoff Backoff) (released bool) {
+	self := h.Self
+	if h.Draining != nil && h.Draining() {
+		self.Draining = true
+	}
 	for attempt := 0; ; attempt++ {
 		call, cancel := context.WithTimeout(ctx, h.Interval)
-		_, err := h.Client.Register(call, h.CoordinatorURL, h.Self)
+		resp, err := h.Client.Register(call, h.CoordinatorURL, self)
 		cancel()
 		if err == nil || ctx.Err() != nil {
-			return
+			return err == nil && resp.Released
 		}
 		if h.OnError != nil {
 			h.OnError(err)
 		}
 		if attempt >= h.Retries {
-			return // budget spent; the next beat tries again
+			return false // budget spent; the next beat tries again
 		}
 		if !backoff.Sleep(ctx, attempt) {
-			return
+			return false
 		}
 	}
 }

@@ -48,6 +48,11 @@ const (
 	// ExecutePath is served by workers; the coordinator POSTs
 	// ExecuteRequests (batches of run specifications) to it.
 	ExecutePath = "/internal/v1/execute"
+	// DrainPath is served by workers; an autoscaler (or operator) POSTs to
+	// it to retire the worker gracefully. A draining worker rejects new
+	// batches, finishes its in-flight ones, announces the drain on its
+	// heartbeats, and deregisters once idle.
+	DrainPath = "/internal/v1/drain"
 )
 
 // RegisterRequest announces (or refreshes) a worker to the coordinator.
@@ -66,6 +71,11 @@ type RegisterRequest struct {
 	// first (see SupportedCodecs). Absent on workers that predate codec
 	// negotiation; the coordinator speaks JSON to those.
 	Codecs []string `json:"codecs,omitempty"`
+	// Draining announces that the worker is retiring: the coordinator must
+	// fence it from new batches and release it (deregister, ack with
+	// Released) once its in-flight count reaches zero. omitempty keeps
+	// non-draining heartbeats decodable by pre-drain coordinators.
+	Draining bool `json:"draining,omitempty"`
 }
 
 // RegisterResponse acknowledges a registration/heartbeat.
@@ -75,6 +85,20 @@ type RegisterResponse struct {
 	ExpiresInMS int64 `json:"expires_in_ms"`
 	// Workers reports the cluster's current live-worker count.
 	Workers int `json:"workers"`
+	// Released tells a draining worker that the coordinator has dropped it
+	// from the registry (its last in-flight batch finished): heartbeating
+	// may stop and the process can exit.
+	Released bool `json:"released,omitempty"`
+}
+
+// DrainResponse acknowledges a drain request on a worker.
+type DrainResponse struct {
+	// Draining is always true once the request is accepted (drains are
+	// sticky and idempotent).
+	Draining bool `json:"draining"`
+	// Inflight is the number of batches still executing on the worker at
+	// the time of the request.
+	Inflight int `json:"inflight"`
 }
 
 // ExecuteConfig is one run configuration inside a batch: the
@@ -178,6 +202,9 @@ type WorkerInfo struct {
 	// Codecs is what the worker advertised at registration; empty means a
 	// pre-negotiation worker that is spoken to in JSON.
 	Codecs []string `json:"codecs,omitempty"`
+	// Draining reports that the worker announced a drain and is fenced
+	// from new batches while its in-flight ones finish.
+	Draining bool `json:"draining,omitempty"`
 }
 
 // nowFunc is the registry clock, swappable in tests.

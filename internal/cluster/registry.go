@@ -29,6 +29,9 @@ type worker struct {
 	// expiry); dispatchers watching it abort their in-flight call so the
 	// batch can be re-dispatched instead of waiting on a dead socket.
 	gone chan struct{}
+	// draining fences the worker from new leases while its in-flight
+	// batches finish; the heartbeat that observes inflight==0 removes it.
+	draining bool
 	// Circuit breaker: fails counts consecutive dispatch failures; at the
 	// registry's threshold the breaker opens until openUntil, after which
 	// the worker is half-open — eligible for exactly one probe batch
@@ -86,10 +89,26 @@ func (r *Registry) SetBreaker(failures int, cooldown time.Duration) {
 	r.breakerCooldown = cooldown
 }
 
-// Upsert registers a worker or refreshes its heartbeat lease, returning
-// whether the worker was previously unknown. Capacity below 1 is clamped
-// to 1.
-func (r *Registry) Upsert(req RegisterRequest) (isNew bool) {
+// UpsertStatus reports what a registration/heartbeat did to the registry.
+type UpsertStatus struct {
+	// IsNew means the worker was previously unknown and has just joined.
+	IsNew bool
+	// Released means a draining worker is done with the coordinator: it is
+	// no longer (or never was) in the registry and may stop heartbeating.
+	Released bool
+	// Drained means this heartbeat completed a drain — the worker was
+	// removed with zero batches in flight (Released is also set).
+	Drained bool
+}
+
+// Upsert registers a worker or refreshes its heartbeat lease. Capacity
+// below 1 is clamped to 1.
+//
+// A draining heartbeat fences the worker (no new leases) and, once its
+// in-flight count is zero, removes it and acks Released; an unknown
+// draining worker is never (re-)registered — it is Released immediately,
+// so a drain that races liveness expiry cannot resurrect the node.
+func (r *Registry) Upsert(req RegisterRequest) UpsertStatus {
 	capacity := req.Capacity
 	if capacity < 1 {
 		capacity = 1
@@ -98,6 +117,9 @@ func (r *Registry) Upsert(req RegisterRequest) (isNew bool) {
 	defer r.mu.Unlock()
 	w, ok := r.workers[req.ID]
 	if !ok {
+		if req.Draining {
+			return UpsertStatus{Released: true}
+		}
 		w = &worker{id: req.ID, gone: make(chan struct{})}
 		r.workers[req.ID] = w
 	}
@@ -106,9 +128,17 @@ func (r *Registry) Upsert(req RegisterRequest) (isNew bool) {
 	w.lastSeen = r.now()
 	w.codecs = req.Codecs
 	w.binary = slices.Contains(req.Codecs, CodecBinary)
+	// The drain flag follows the worker's announcement both ways: a worker
+	// restarted after an aborted drain re-enters rotation on its first
+	// non-draining heartbeat.
+	w.draining = req.Draining
+	if w.draining && w.inflight == 0 {
+		r.removeLocked(req.ID)
+		return UpsertStatus{Released: true, Drained: true}
+	}
 	// A new worker or a raised capacity can unblock saturated dispatchers.
 	r.cond.Broadcast()
-	return !ok
+	return UpsertStatus{IsNew: !ok}
 }
 
 // Remove drops a worker (observed dead by a failed dispatch); its gone
@@ -300,7 +330,7 @@ func (r *Registry) waitWorthwhileLocked() bool {
 			return true
 		}
 		open := w.fails >= r.breakerFailures && now.Before(w.openUntil)
-		if !open && w.inflight >= w.capacity {
+		if !open && !w.draining && w.inflight >= w.capacity {
 			return true
 		}
 	}
@@ -316,7 +346,7 @@ func (r *Registry) pickLocked(exclude string) *worker {
 	now := r.now()
 	var best *worker
 	for _, w := range r.workers {
-		if w.id == exclude || w.inflight >= w.capacity {
+		if w.id == exclude || w.draining || w.inflight >= w.capacity {
 			continue
 		}
 		if w.fails >= r.breakerFailures && (w.probing || now.Before(w.openUntil)) {
@@ -329,6 +359,29 @@ func (r *Registry) pickLocked(exclude string) *worker {
 		}
 	}
 	return best
+}
+
+// Capacity reports the cluster's live dispatch capacity: total in-flight
+// slots on non-draining workers, and how many of those are currently free
+// on workers whose breaker is not open (i.e. slots a lease could actually
+// land on right now).
+func (r *Registry) Capacity() (slots, free int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := r.now()
+	for _, w := range r.workers {
+		if w.draining {
+			continue
+		}
+		slots += w.capacity
+		if w.fails >= r.breakerFailures && (w.probing || now.Before(w.openUntil)) {
+			continue
+		}
+		if f := w.capacity - w.inflight; f > 0 {
+			free += f
+		}
+	}
+	return slots, free
 }
 
 // Snapshot returns every registered worker's public view, sorted by id.
@@ -355,6 +408,7 @@ func (r *Registry) Snapshot() []WorkerInfo {
 			Failures: w.fails,
 			Breaker:  state,
 			Codecs:   slices.Clone(w.codecs),
+			Draining: w.draining,
 		})
 	}
 	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })

@@ -178,7 +178,7 @@ func TestExpireDead(t *testing.T) {
 	if n := r.Len(); n != 1 {
 		t.Fatalf("registry has %d workers after expiry, want 1", n)
 	}
-	if isNew := r.Upsert(RegisterRequest{ID: "w-a", Capacity: 1}); !isNew {
+	if st := r.Upsert(RegisterRequest{ID: "w-a", Capacity: 1}); !st.IsNew {
 		t.Fatal("re-registered expired worker should be new again")
 	}
 }
@@ -411,5 +411,84 @@ func TestSnapshotSorted(t *testing.T) {
 	}
 	if snap[0].Inflight != 1 || snap[1].Inflight != 0 {
 		t.Fatalf("inflight = %d/%d, want 1/0", snap[0].Inflight, snap[1].Inflight)
+	}
+}
+
+// TestDrainFencesThenReleases pins the coordinator-side drain lifecycle: a
+// draining heartbeat fences the worker from new leases while its in-flight
+// batch finishes, and the first draining heartbeat that observes zero
+// in-flight removes the worker and acks Released.
+func TestDrainFencesThenReleases(t *testing.T) {
+	r := testRegistry(newFakeClock())
+	r.Upsert(RegisterRequest{ID: "w-a", URL: "http://a", Capacity: 2})
+	r.Upsert(RegisterRequest{ID: "w-b", URL: "http://b", Capacity: 1})
+	lease := mustAcquire(t, r) // least-loaded tie breaks to w-a
+	if lease.ID != "w-a" {
+		t.Fatalf("acquired %s, want w-a", lease.ID)
+	}
+
+	st := r.Upsert(RegisterRequest{ID: "w-a", URL: "http://a", Capacity: 2, Draining: true})
+	if st.IsNew || st.Released || st.Drained {
+		t.Fatalf("draining heartbeat with a batch in flight = %+v, want fenced but retained", st)
+	}
+	// Fenced: the free slot on w-a is invisible; every new lease lands on
+	// w-b despite w-a having spare capacity.
+	other := mustAcquire(t, r)
+	if other.ID != "w-b" {
+		t.Fatalf("acquired %s while w-a drains, want w-b", other.ID)
+	}
+	if _, ok := r.TryAcquire(""); ok {
+		t.Fatal("TryAcquire found a slot with w-a draining and w-b saturated")
+	}
+	if slots, free := r.Capacity(); slots != 1 || free != 0 {
+		t.Fatalf("Capacity = (%d, %d), want (1, 0): draining workers contribute no slots", slots, free)
+	}
+
+	// The drained flag is visible to /healthz.
+	snap := r.Snapshot()
+	if !snap[0].Draining || snap[1].Draining {
+		t.Fatalf("Snapshot draining flags = %v/%v, want w-a only", snap[0].Draining, snap[1].Draining)
+	}
+
+	// Last in-flight batch finishes; the next draining heartbeat releases.
+	lease.Release()
+	st = r.Upsert(RegisterRequest{ID: "w-a", URL: "http://a", Capacity: 2, Draining: true})
+	if !st.Released || !st.Drained {
+		t.Fatalf("idle draining heartbeat = %+v, want Released+Drained", st)
+	}
+	if n := r.Len(); n != 1 {
+		t.Fatalf("registry has %d workers after drain, want 1", n)
+	}
+}
+
+// TestDrainUnknownWorkerNeverResurrects: a draining heartbeat from a worker
+// the registry does not know (it already expired, or was already released)
+// must ack Released without re-registering it.
+func TestDrainUnknownWorkerNeverResurrects(t *testing.T) {
+	r := testRegistry(newFakeClock())
+	st := r.Upsert(RegisterRequest{ID: "w-gone", URL: "http://gone", Capacity: 1, Draining: true})
+	if !st.Released || st.IsNew || st.Drained {
+		t.Fatalf("unknown draining worker = %+v, want Released only", st)
+	}
+	if n := r.Len(); n != 0 {
+		t.Fatalf("registry resurrected a draining worker (len %d)", n)
+	}
+}
+
+// TestDrainAbortedByFreshHeartbeat: a worker that starts draining and then
+// changes its mind (restarted without the drain latch) re-enters rotation
+// on its first non-draining heartbeat.
+func TestDrainAbortedByFreshHeartbeat(t *testing.T) {
+	r := testRegistry(newFakeClock())
+	r.Upsert(RegisterRequest{ID: "w-a", URL: "http://a", Capacity: 1})
+	lease := mustAcquire(t, r)
+	r.Upsert(RegisterRequest{ID: "w-a", URL: "http://a", Capacity: 1, Draining: true})
+	r.Upsert(RegisterRequest{ID: "w-a", URL: "http://a", Capacity: 1}) // drain aborted
+	lease.Release()
+	if got := mustAcquire(t, r); got.ID != "w-a" {
+		t.Fatalf("acquired %s after aborted drain, want w-a", got.ID)
+	}
+	if slots, free := r.Capacity(); slots != 1 || free != 0 {
+		t.Fatalf("Capacity = (%d, %d) after aborted drain with one lease out, want (1, 0)", slots, free)
 	}
 }

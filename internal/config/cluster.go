@@ -43,9 +43,15 @@ type Cluster struct {
 	// coordinator expires it and re-dispatches its batches (default 3x the
 	// heartbeat interval). Must exceed the heartbeat interval.
 	LivenessExpiryMS int `json:"liveness_expiry_ms,omitempty"`
-	// BatchSize is how many sweep configurations the coordinator packs
-	// into one dispatch batch (default 8).
+	// BatchSize is the hard cap on sweep configurations per dispatch batch
+	// (default 8). The adaptive sizer never exceeds it.
 	BatchSize int `json:"batch_size,omitempty"`
+	// BatchTargetMS is how much estimated work (per-config p50 latency x
+	// batch length, in milliseconds) the coordinator aims to pack into one
+	// dispatch batch (default 500). Lower values favour load balance on
+	// skewed workloads; higher values favour per-batch overhead
+	// amortization. BatchSize stays the hard per-batch cap.
+	BatchTargetMS int `json:"batch_target_ms,omitempty"`
 	// DialTimeoutMS bounds connection establishment to a cluster peer, so
 	// an unreachable or blackholed node fails fast instead of hanging a
 	// dispatcher (default 10000).
@@ -101,6 +107,9 @@ func (c Cluster) WithDefaults() Cluster {
 	if c.BatchSize == 0 {
 		c.BatchSize = 8
 	}
+	if c.BatchTargetMS == 0 {
+		c.BatchTargetMS = 500
+	}
 	if c.DialTimeoutMS == 0 {
 		c.DialTimeoutMS = 10_000
 	}
@@ -129,6 +138,11 @@ func (c Cluster) WithDefaults() Cluster {
 		c.WireCodec = cluster.CodecBinary
 	}
 	return c
+}
+
+// BatchTarget returns the per-batch work target as a duration.
+func (c Cluster) BatchTarget() time.Duration {
+	return time.Duration(c.BatchTargetMS) * time.Millisecond
 }
 
 // HeartbeatInterval returns the heartbeat cadence as a duration.
@@ -230,6 +244,9 @@ func (c Cluster) Validate() error {
 		// healthy worker's 400 as a death and churn the registry.
 		return fmt.Errorf("config: batch_size %d exceeds the per-batch limit %d",
 			c.BatchSize, cluster.MaxBatchConfigs)
+	}
+	if c.BatchTargetMS < 0 {
+		return fmt.Errorf("config: batch_target_ms must be non-negative, got %d", c.BatchTargetMS)
 	}
 	// Resilience knobs: zero means "the WithDefaults value applies" (the
 	// daemon flow fills defaults before validating), so only explicitly

@@ -46,6 +46,7 @@ type ServiceStats struct {
 	RemoteConfigs       atomic.Int64 // configurations whose results came back from a worker
 	HeartbeatsReceived  atomic.Int64 // register/heartbeat POSTs accepted
 	WorkerExpiries      atomic.Int64 // workers expired by the liveness sweeper
+	WorkersDrained      atomic.Int64 // draining workers released after their last in-flight batch
 
 	// Wire-codec counters (coordinator side): which codec each dispatched
 	// batch was spoken in, and the bytes that actually crossed the wire
@@ -104,16 +105,18 @@ func (s *ServiceStats) ObserveConfigLatency(d time.Duration) {
 }
 
 // ConfigLatency returns the per-configuration latency sample count and its
-// p99 in milliseconds. Callers deriving deadlines must check n themselves:
-// a p99 from a handful of samples is noise, not a distribution.
-func (s *ServiceStats) ConfigLatency() (n, p99ms int) {
+// p50 and p99 in milliseconds. The p50 sizes adaptive dispatch batches, the
+// p99 derives batch deadlines and hedge delays. Callers must check n
+// themselves: percentiles from a handful of samples are noise, not a
+// distribution.
+func (s *ServiceStats) ConfigLatency() (n, p50ms, p99ms int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	n = s.configLatency.N()
 	if n == 0 {
-		return 0, 0
+		return 0, 0, 0
 	}
-	return n, s.configLatency.Percentile(0.99)
+	return n, s.configLatency.Percentile(0.50), s.configLatency.Percentile(0.99)
 }
 
 // Snapshot is a point-in-time copy of every counter, used by the /metrics
@@ -146,6 +149,7 @@ type Snapshot struct {
 	RemoteConfigs       int64 `json:"remote_configs"`
 	HeartbeatsReceived  int64 `json:"heartbeats_received"`
 	WorkerExpiries      int64 `json:"worker_expiries"`
+	WorkersDrained      int64 `json:"workers_drained"`
 
 	WireBinaryBatches  int64 `json:"wire_binary_batches"`
 	WireBinaryBytesOut int64 `json:"wire_binary_bytes_out"`
@@ -159,13 +163,14 @@ type Snapshot struct {
 	LatencyP99ms int64 `json:"latency_p99_ms"`
 
 	ConfigLatencyCount int64 `json:"config_latency_count"`
+	ConfigLatencyP50ms int64 `json:"config_latency_p50_ms"`
 	ConfigLatencyP99ms int64 `json:"config_latency_p99_ms"`
 }
 
 // Snapshot captures the current counter values.
 func (s *ServiceStats) Snapshot() Snapshot {
 	p50, p99 := s.LatencyPercentiles()
-	cfgN, cfgP99 := s.ConfigLatency()
+	cfgN, cfgP50, cfgP99 := s.ConfigLatency()
 	s.mu.Lock()
 	n := s.latency.N()
 	s.mu.Unlock()
@@ -197,6 +202,7 @@ func (s *ServiceStats) Snapshot() Snapshot {
 		RemoteConfigs:       s.RemoteConfigs.Load(),
 		HeartbeatsReceived:  s.HeartbeatsReceived.Load(),
 		WorkerExpiries:      s.WorkerExpiries.Load(),
+		WorkersDrained:      s.WorkersDrained.Load(),
 
 		WireBinaryBatches:  s.WireBinaryBatches.Load(),
 		WireBinaryBytesOut: s.WireBinaryBytesOut.Load(),
@@ -210,6 +216,7 @@ func (s *ServiceStats) Snapshot() Snapshot {
 		LatencyP99ms: int64(p99),
 
 		ConfigLatencyCount: int64(cfgN),
+		ConfigLatencyP50ms: int64(cfgP50),
 		ConfigLatencyP99ms: int64(cfgP99),
 	}
 }
@@ -251,6 +258,7 @@ func (s Snapshot) RenderProm(prefix string) string {
 	counter("cluster_remote_configs_total", "Configurations executed by cluster workers.", s.RemoteConfigs)
 	counter("cluster_heartbeats_total", "Worker register/heartbeat requests accepted.", s.HeartbeatsReceived)
 	counter("cluster_worker_expiries_total", "Workers expired by the liveness sweeper.", s.WorkerExpiries)
+	counter("cluster_workers_drained_total", "Draining workers released after their last in-flight batch.", s.WorkersDrained)
 	labeled := func(name, help string, rows ...[2]any) {
 		fmt.Fprintf(&sb, "# HELP %s_%s %s\n# TYPE %s_%s counter\n", prefix, name, help, prefix, name)
 		for _, r := range rows {
@@ -269,6 +277,7 @@ func (s Snapshot) RenderProm(prefix string) string {
 	fmt.Fprintf(&sb, "%s_job_latency_ms{quantile=\"0.99\"} %d\n", prefix, s.LatencyP99ms)
 	counter("config_latency_observations_total", "Configurations with recorded execution latency.", s.ConfigLatencyCount)
 	fmt.Fprintf(&sb, "# HELP %s_config_latency_ms Per-configuration latency quantiles in milliseconds.\n# TYPE %s_config_latency_ms summary\n", prefix, prefix)
+	fmt.Fprintf(&sb, "%s_config_latency_ms{quantile=\"0.5\"} %d\n", prefix, s.ConfigLatencyP50ms)
 	fmt.Fprintf(&sb, "%s_config_latency_ms{quantile=\"0.99\"} %d\n", prefix, s.ConfigLatencyP99ms)
 	return sb.String()
 }

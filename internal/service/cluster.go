@@ -95,12 +95,51 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, errors.New("service: register needs id and url"))
 		return
 	}
-	s.clust.registry.Upsert(req)
+	st := s.clust.registry.Upsert(req)
 	s.stats.HeartbeatsReceived.Add(1)
+	if st.Drained {
+		s.stats.WorkersDrained.Add(1)
+	}
 	writeJSON(w, http.StatusOK, cluster.RegisterResponse{
 		ExpiresInMS: s.clust.cfg.LivenessExpiry().Milliseconds(),
 		Workers:     s.clust.registry.Len(),
+		Released:    st.Released,
 	})
+}
+
+// handleDrain is the worker's retirement endpoint: an autoscaler (or
+// operator) POSTs to it and from then on the worker rejects new batches
+// with 503 (the coordinator re-dispatches them elsewhere), announces the
+// drain on every heartbeat, and exits its heartbeat loop once the
+// coordinator confirms its last in-flight batch finished and releases it.
+// Idempotent: draining a draining worker re-acknowledges.
+func (s *Server) handleDrain(w http.ResponseWriter, r *http.Request) {
+	s.workerDraining.Store(true)
+	writeJSON(w, http.StatusOK, cluster.DrainResponse{
+		Draining: true,
+		Inflight: int(s.execInflight.Load()),
+	})
+}
+
+// WorkerDraining reports whether this worker has been asked to retire
+// (POST /internal/v1/drain). It is what the heartbeater samples to
+// announce the drain to the coordinator.
+func (s *Server) WorkerDraining() bool { return s.workerDraining.Load() }
+
+// scaleSignal is the autoscaler-facing pressure estimate: the admitted
+// backlog in estimated milliseconds of work (pending configurations × the
+// observed per-configuration p50, floored at 1ms so a cold histogram still
+// reflects queue depth) and the live, non-draining capacity slots it
+// spreads over. perSlotMS is the headline gauge: ≫ batch_target_ms means
+// add workers; ≈ 0 with idle slots means it is safe to drain some.
+func (s *Server) scaleSignal() (backlogMS, slots int64, perSlotMS float64) {
+	_, p50, _ := s.stats.ConfigLatency()
+	backlogMS = s.pending.Load() * int64(max(p50, 1))
+	if s.clust != nil && s.clust.registry != nil {
+		n, _ := s.clust.registry.Capacity()
+		slots = int64(n)
+	}
+	return backlogMS, slots, float64(backlogMS) / float64(max(slots, 1))
 }
 
 // handleExecute is the worker's dispatch endpoint: it decodes a batch of
@@ -117,6 +156,15 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
+	// A draining worker takes no new batches; 503 is retryable, so the
+	// coordinator re-dispatches elsewhere. In-flight batches (already past
+	// this gate) run to completion — that is the point of draining.
+	if s.workerDraining.Load() {
+		writeError(w, http.StatusServiceUnavailable, errors.New("service: worker draining"))
+		return
+	}
+	s.execInflight.Add(1)
+	defer s.execInflight.Add(-1)
 	req, codec, err := cluster.DecodeExecuteRequestAuto(
 		http.MaxBytesReader(w, r.Body, cluster.MaxExecuteBody),
 		r.Header.Get("Content-Type"), r.Header.Get("Content-Encoding"))
@@ -235,7 +283,7 @@ const (
 // treated like a failed dispatch (its breaker takes the blame, the batch is
 // retried elsewhere). Zero means no deadline yet.
 func (s *Server) batchDeadline(batchLen int) time.Duration {
-	n, p99 := s.stats.ConfigLatency()
+	n, _, p99 := s.stats.ConfigLatency()
 	if n < minLatencySamples {
 		return 0
 	}
@@ -246,7 +294,7 @@ func (s *Server) batchDeadline(batchLen int) time.Duration {
 // hedgeDelay is how long a batch may run before the coordinator races a
 // duplicate on a second worker. Zero means hedging is off.
 func (s *Server) hedgeDelay(batchLen int) time.Duration {
-	n, p99 := s.stats.ConfigLatency()
+	n, _, p99 := s.stats.ConfigLatency()
 	if n < minLatencySamples {
 		return 0
 	}
@@ -254,112 +302,318 @@ func (s *Server) hedgeDelay(batchLen int) time.Duration {
 	return max(d, minHedgeDelay)
 }
 
+// workQueue is one job's index-ordered queue of cache-miss configurations.
+// The streaming prepass appends to it while the dispatch loop (the single
+// consumer) pulls batches off its head, so first dispatch overlaps the
+// cache scan. unscanned counts configurations the prepass has not yet
+// classified; queued()+unscanned is the dispatch loop's backlog estimate
+// (an overestimate while hits remain unscanned, exact at the tail — which
+// is when the tail-split rule needs it exact).
+type workQueue struct {
+	mu        sync.Mutex
+	cond      *sync.Cond
+	idxs      []int
+	closed    bool
+	unscanned atomic.Int64
+}
+
+func newWorkQueue(unscanned int) *workQueue {
+	q := &workQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	q.unscanned.Store(int64(unscanned))
+	return q
+}
+
+func (q *workQueue) add(idx int) {
+	q.mu.Lock()
+	q.idxs = append(q.idxs, idx)
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// close marks the producer done; wait drains to false once the queue
+// empties.
+func (q *workQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// wait blocks until work is queued (true) or the queue is closed empty or
+// ctx ends (false). With a single consumer, true guarantees the next pull
+// returns at least one index.
+func (q *workQueue) wait(ctx context.Context) bool {
+	// cond.Wait cannot watch a context; convert cancellation into a
+	// broadcast so the loop re-checks ctx (same pattern as Registry.Acquire).
+	stop := context.AfterFunc(ctx, func() {
+		q.mu.Lock()
+		q.cond.Broadcast()
+		q.mu.Unlock()
+	})
+	defer stop()
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if len(q.idxs) > 0 {
+			return true
+		}
+		if q.closed || ctx.Err() != nil {
+			return false
+		}
+		q.cond.Wait()
+	}
+}
+
+// pull removes and returns up to n indices from the head of the queue.
+func (q *workQueue) pull(n int) []int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	n = min(n, len(q.idxs))
+	out := q.idxs[:n:n]
+	q.idxs = q.idxs[n:]
+	return out
+}
+
+func (q *workQueue) queued() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.idxs)
+}
+
+// backlog estimates the configurations still to dispatch: queued misses
+// plus everything the prepass has not classified yet.
+func (q *workQueue) backlog() int {
+	return q.queued() + int(q.unscanned.Load())
+}
+
+// batchSizer picks adaptive batch lengths for the pull loop. Three regimes:
+// while the latency histogram is cold it ramps 1, 2, 4, ... so the first
+// batches return quickly and feed it samples; warm, it packs the configured
+// batch target of estimated work (target / p50) per batch; and near the end
+// of a job the tail-split rule spreads the remaining backlog across every
+// free slot instead of letting the last big batch ride one straggler.
+// config.Cluster.BatchSize stays the hard cap throughout. Not safe for
+// concurrent use — only the job's single dispatch loop calls next.
+type batchSizer struct {
+	s      *Server
+	target time.Duration // cfg.BatchTarget()
+	cap    int           // cfg.BatchSize
+	ramp   int           // next cold-histogram batch length
+}
+
+func newBatchSizer(s *Server) *batchSizer {
+	return &batchSizer{s: s, target: s.clust.cfg.BatchTarget(), cap: s.clust.cfg.BatchSize, ramp: 1}
+}
+
+// next returns the length of the next batch given the current backlog and
+// the number of dispatch slots that could take work right now (including
+// the one the caller already holds).
+func (z *batchSizer) next(backlog, freeSlots int) int {
+	n := z.steady()
+	if freeSlots > 1 {
+		// Tail split: when the backlog divides across the idle slots into
+		// smaller batches than the steady-state size, prefer the split —
+		// finishing the tail in parallel beats amortizing overhead.
+		n = min(n, (backlog+freeSlots-1)/freeSlots)
+	}
+	return max(1, min(n, z.cap))
+}
+
+func (z *batchSizer) steady() int {
+	n, p50, _ := z.s.stats.ConfigLatency()
+	if n < minLatencySamples {
+		b := z.ramp
+		z.ramp = min(z.ramp*2, z.cap)
+		return b
+	}
+	if p50 <= 0 {
+		// Sub-millisecond configurations: per-batch overhead dominates, so
+		// fill batches to the cap.
+		return z.cap
+	}
+	return int(z.target.Milliseconds() / int64(p50))
+}
+
 // executeSharded runs a job's unfinished configurations through the
-// cluster: coordinator-cache hits are served inline, the misses are packed
-// into index-ordered batches and dispatched concurrently to the
-// least-loaded live workers. Returns whether the job was cancelled.
+// cluster with a pull-based dispatch loop: a streaming prepass serves
+// coordinator-cache hits through the sequencer and queues the misses (pre-
+// marshalled once) in index order, while this loop pulls adaptively sized
+// batches off the queue — one per acquired worker slot. A worker that
+// finishes a batch early frees its slot and the loop immediately pulls the
+// next batch for it: work steals itself to fast workers without a stealing
+// protocol. Returns whether the job was cancelled.
 func (s *Server) executeSharded(j *Job, startIdx int) (cancelled bool) {
 	seq := &sequencer{s: s, j: j, next: startIdx, ready: make(map[int]ConfigResult)}
-
-	// Prepass: serve coordinator-cache hits without dispatching, pack the
-	// rest into batches. Misses are NOT counted here — the engine run (and
-	// its hit/miss accounting) happens wherever the configuration lands.
-	// The sharded path does not consult the in-flight coalescing table:
-	// cross-job duplicate configurations dispatched concurrently can
-	// compute twice (once per worker). The waste is bounded — every remote
-	// result re-seeds the coordinator cache the moment it lands, so a
-	// second identical job only duplicates the configurations still in
-	// flight, and deterministic simulations make the duplicates harmless.
-	batchSize := s.clust.cfg.BatchSize
-	var batches [][]int
-	var cur []int
-	for i := startIdx; i < len(j.specs); i++ {
-		spec := j.specs[i]
-		if s.cache != nil {
-			if v, ok := s.cache.get(specKey(spec)); ok && cacheUsable(v, spec) {
-				s.stats.CacheHits.Add(1)
-				res := newConfigResult(spec)
-				res.Index = i
-				res.Cached = true
-				fillResult(&res, spec, v)
-				seq.deliver(i, res)
-				continue
-			}
-		}
-		cur = append(cur, i)
-		if len(cur) == batchSize {
-			batches = append(batches, cur)
-			cur = nil
-		}
-	}
-	if len(cur) > 0 {
-		batches = append(batches, cur)
+	q := newWorkQueue(len(j.specs) - startIdx)
+	if j.encSpecs == nil {
+		j.encSpecs = make([][]byte, len(j.specs))
 	}
 
 	var wg sync.WaitGroup
-	for bi, idxs := range batches {
+	// Local fallback runs are bounded by a semaphore the width of the local
+	// pool, so a cluster that dies mid-job degrades to standalone
+	// parallelism instead of unbounded goroutines.
+	localSlots := make(chan struct{}, max(1, s.workers))
+	runLocal := func(idxs []int) {
 		wg.Add(1)
-		go func(bi int, idxs []int) {
+		go func() {
 			defer wg.Done()
-			s.dispatchBatch(j, bi, idxs, seq)
-		}(bi, idxs)
+			select {
+			case localSlots <- struct{}{}:
+			case <-j.ctx.Done():
+				return
+			}
+			defer func() { <-localSlots }()
+			s.runBatchLocally(j.ctx, j, idxs, seq)
+		}()
+	}
+
+	// Streaming prepass: classify configurations in index order,
+	// delivering cache hits through the sequencer and queueing misses for
+	// dispatch — concurrently with the dispatch loop, so a mostly-cached
+	// sweep's first batch leaves before the scan finishes. Misses are NOT
+	// counted here — the engine run (and its hit/miss accounting) happens
+	// wherever the configuration lands. The sharded path does not consult
+	// the in-flight coalescing table: cross-job duplicate configurations
+	// dispatched concurrently can compute twice (once per worker). The
+	// waste is bounded — every remote result re-seeds the coordinator cache
+	// the moment it lands, and deterministic simulations make the
+	// duplicates harmless.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer q.close()
+		for i := startIdx; i < len(j.specs); i++ {
+			spec := j.specs[i]
+			if s.cache != nil {
+				if v, ok := s.cache.get(specKey(spec)); ok && cacheUsable(v, spec) {
+					s.stats.CacheHits.Add(1)
+					res := newConfigResult(spec)
+					res.Index = i
+					res.Cached = true
+					fillResult(&res, spec, v)
+					seq.deliver(i, res)
+					q.unscanned.Add(-1)
+					continue
+				}
+			}
+			data, err := json.Marshal(spec)
+			if err != nil {
+				// Specs are plain validated structs, so this cannot happen in
+				// practice; route the orphan to the local pool, which needs
+				// no wire encoding.
+				q.unscanned.Add(-1)
+				runLocal([]int{i})
+				continue
+			}
+			j.encSpecs[i] = data
+			q.unscanned.Add(-1)
+			q.add(i)
+		}
+	}()
+
+	sizer := newBatchSizer(s)
+	for bi := 0; q.wait(j.ctx); {
+		lease, err := s.clust.registry.Acquire(j.ctx)
+		if errors.Is(err, cluster.ErrNoWorkers) {
+			// The whole cluster is gone right now. Drain one batch through
+			// the local pool, then re-check membership — a worker that
+			// (re-)registers mid-job takes the rest of the queue back.
+			if idxs := q.pull(s.clust.cfg.BatchSize); len(idxs) > 0 {
+				runLocal(idxs)
+			}
+			continue
+		}
+		if err != nil {
+			break // job cancelled while waiting for a slot
+		}
+		_, free := s.clust.registry.Capacity()
+		idxs := q.pull(sizer.next(q.backlog(), free+1)) // +1: the slot this lease holds
+		if len(idxs) == 0 {
+			lease.Release()
+			continue
+		}
+		wg.Add(1)
+		go func(bi int, idxs []int, lease cluster.Lease) {
+			defer wg.Done()
+			s.dispatchPulled(j, bi, idxs, seq, lease)
+		}(bi, idxs, lease)
+		bi++
 	}
 	wg.Wait()
 	return j.ctx.Err() != nil
 }
 
-// buildExecuteRequest marshals one batch's specs into the wire form.
+// buildExecuteRequest assembles one batch's wire form from the job's
+// pre-marshalled specs (encoded once by the prepass; reused across every
+// dispatch, retry and hedge of the batch).
 func buildExecuteRequest(j *Job, bi int, idxs []int) (cluster.ExecuteRequest, error) {
 	req := cluster.ExecuteRequest{JobID: j.ID, Batch: bi, Configs: make([]cluster.ExecuteConfig, len(idxs))}
 	for k, idx := range idxs {
-		data, err := json.Marshal(j.specs[idx])
-		if err != nil {
-			return req, err
+		data := j.encSpecs[idx]
+		if data == nil {
+			// Unreachable: the prepass encodes every index before queueing it.
+			return req, fmt.Errorf("service: config %d has no encoded spec", idx)
 		}
 		req.Configs[k] = cluster.ExecuteConfig{Index: idx, Spec: data}
 	}
 	return req, nil
 }
 
-// dispatchBatch drives one batch to completion: acquire the least-loaded
-// worker slot, POST the batch (racing a hedge replica if it straggles),
-// deliver its results. Retryable failures — transport errors, 5xx, blown
-// deadlines — charge the worker's circuit breaker and re-dispatch the batch
-// with backoff, up to the configured retry budget; terminal failures (a
-// worker 4xx: the batch itself is poison) and exhausted budgets fall back
-// to the coordinator's local pool, so a batch always makes progress.
-// Cancellation of the job abandons the batch (the job's final accounting
-// releases its backlog).
-func (s *Server) dispatchBatch(j *Job, bi int, idxs []int, seq *sequencer) {
+// dispatchPulled drives one pulled batch to completion on the slot the
+// dispatch loop acquired for it: POST the batch (racing a hedge replica if
+// it straggles), deliver its results. Retryable failures — transport
+// errors, 5xx, blown deadlines — charge the worker's circuit breaker and
+// re-dispatch the batch on a freshly acquired slot with backoff, up to the
+// configured retry budget; terminal failures (a worker 4xx: the batch
+// itself is poison) and exhausted budgets fall back to the coordinator's
+// local pool, so a batch always makes progress. Cancellation of the job
+// abandons the batch (the job's final accounting releases its backlog).
+func (s *Server) dispatchPulled(j *Job, bi int, idxs []int, seq *sequencer, lease cluster.Lease) {
 	ctx := j.ctx
+	haveLease := true
+	release := func() {
+		if haveLease {
+			lease.Release()
+			haveLease = false
+		}
+	}
 	req, err := buildExecuteRequest(j, bi, idxs)
 	if err != nil {
-		s.runBatchLocally(ctx, j, idxs, seq) // marshal failure: engine still works
+		release()
+		s.runBatchLocally(ctx, j, idxs, seq)
 		return
 	}
 	backoff := cluster.Backoff{Base: s.clust.cfg.RetryBackoff(), Max: 20 * s.clust.cfg.RetryBackoff()}
 	for attempt := 0; ; attempt++ {
 		if ctx.Err() != nil {
+			release()
 			return
 		}
 		if attempt > s.clust.cfg.DispatchRetries {
+			release()
 			s.runBatchLocally(ctx, j, idxs, seq)
 			return
 		}
 		if attempt > 0 {
 			s.stats.DispatchRetries.Add(1)
 			if !backoff.Sleep(ctx, attempt-1) {
+				release()
 				return // job cancelled mid-backoff
 			}
 		}
-		lease, err := s.clust.registry.Acquire(ctx)
-		if errors.Is(err, cluster.ErrNoWorkers) {
-			s.runBatchLocally(ctx, j, idxs, seq)
-			return
+		if !haveLease {
+			lease, err = s.clust.registry.Acquire(ctx)
+			if errors.Is(err, cluster.ErrNoWorkers) {
+				s.runBatchLocally(ctx, j, idxs, seq)
+				return
+			}
+			if err != nil {
+				return // job cancelled while waiting for a slot
+			}
 		}
-		if err != nil {
-			return // job cancelled while waiting for a slot
-		}
+		haveLease = false // raceBatch releases every lease it launches
 		start := time.Now()
 		resp, winner, err := s.raceBatch(ctx, lease, req)
 		if err != nil {

@@ -25,6 +25,9 @@ type clusterNode struct {
 	srv  *Server
 	ts   *httptest.Server
 	stop context.CancelFunc // heartbeater; nil on the coordinator
+	// released is closed when the coordinator acks a drain and the
+	// heartbeat loop exits (workers only).
+	released chan struct{}
 }
 
 // startCoordinator boots a coordinator node (optionally durable).
@@ -68,14 +71,17 @@ func startWorker(t *testing.T, coordURL string, runner Runner) *clusterNode {
 	s.Start()
 	ts := httptest.NewServer(s.Handler())
 	ctx, cancel := context.WithCancel(context.Background())
+	released := make(chan struct{})
 	hb := &cluster.Heartbeater{
 		Client:         cluster.NewClient(nil),
 		CoordinatorURL: coordURL,
 		Self:           cluster.RegisterRequest{ID: ts.URL, URL: ts.URL, Capacity: 1, Codecs: cluster.SupportedCodecs()},
 		Interval:       cfg.Cluster.HeartbeatInterval(),
+		Draining:       s.WorkerDraining,
+		OnReleased:     func() { close(released) },
 	}
 	go hb.Run(ctx)
-	n := &clusterNode{srv: s, ts: ts, stop: cancel}
+	n := &clusterNode{srv: s, ts: ts, stop: cancel, released: released}
 	t.Cleanup(func() { n.shutdown(t) })
 	return n
 }
@@ -524,4 +530,152 @@ func get(t *testing.T, url string) *http.Response {
 		t.Fatalf("GET %s: %v", url, err)
 	}
 	return resp
+}
+
+// TestBatchSizerProgression pins the adaptive sizer's three regimes: a
+// doubling ramp-up while the latency histogram is cold, target/p50-sized
+// batches once it is warm (clamped to the BatchSize cap), and the
+// tail-split rule spreading a small backlog across every free slot.
+func TestBatchSizerProgression(t *testing.T) {
+	cfg := config.Daemon{
+		Workers: 1,
+		Cluster: config.Cluster{
+			Mode:                config.ModeCoordinator,
+			HeartbeatIntervalMS: 50,
+			LivenessExpiryMS:    200,
+			BatchSize:           64,
+			BatchTargetMS:       100,
+		},
+	}
+	s := New(cfg, nil)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	})
+
+	z := newBatchSizer(s)
+	// Cold histogram: ramp-up batches double regardless of a deep backlog.
+	for _, want := range []int{1, 2, 4, 8} {
+		if got := z.next(1000, 1); got != want {
+			t.Fatalf("cold sizer ramp = %d, want %d", got, want)
+		}
+	}
+
+	// Warm histogram at p50 = 20ms: a 100ms target packs 5 per batch.
+	for i := 0; i < 2*minLatencySamples; i++ {
+		s.stats.ObserveConfigLatency(20 * time.Millisecond)
+	}
+	if got := z.next(1000, 1); got != 5 {
+		t.Fatalf("steady-state size = %d, want 100ms/20ms = 5", got)
+	}
+
+	// Tail split: 10 configs over 4 free slots is ceil(10/4) = 3 per batch,
+	// smaller than steady state, so the tail fans out.
+	if got := z.next(10, 4); got != 3 {
+		t.Fatalf("tail-split size = %d, want 3", got)
+	}
+	// The split never undercuts 1, and a deep backlog ignores it.
+	if got := z.next(1, 8); got != 1 {
+		t.Fatalf("tail-split floor = %d, want 1", got)
+	}
+	if got := z.next(1000, 4); got != 5 {
+		t.Fatalf("deep-backlog size = %d, want steady-state 5", got)
+	}
+
+	// The -batch-size cap always wins: sub-millisecond configurations would
+	// otherwise ask for target/0.
+	fast := New(cfg, nil)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		fast.Shutdown(ctx)
+	})
+	for i := 0; i < 2*minLatencySamples; i++ {
+		fast.stats.ObserveConfigLatency(0)
+	}
+	if got := newBatchSizer(fast).next(1000, 1); got != 64 {
+		t.Fatalf("sub-ms size = %d, want the cap 64", got)
+	}
+}
+
+// TestClusterDrainWorkerMidSweep is the elasticity acceptance test: drain
+// one of three workers while a sweep is in flight. The sweep must finish
+// with results byte-identical to a standalone run (zero lost or duplicated
+// configurations), the drained worker must deregister cleanly (released by
+// the coordinator, heartbeat loop exited) and refuse new batches with 503.
+func TestClusterDrainWorkerMidSweep(t *testing.T) {
+	runner := skewRunner{fast: 15 * time.Millisecond, slow: 15 * time.Millisecond}
+	coord := startCoordinator(t, "")
+	w1 := startWorker(t, coord.ts.URL, runner)
+	victim := startWorker(t, coord.ts.URL, runner)
+	w2 := startWorker(t, coord.ts.URL, runner)
+	_, _ = w1, w2
+	waitForWorkers(t, coord, 3)
+
+	resp := postJSON(t, coord.ts.URL+"/v1/sweep", chaosSweep)
+	accepted := decode[JobView](t, resp)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("sweep submit: %d", resp.StatusCode)
+	}
+
+	// Wait until dispatch is genuinely under way, then drain the victim.
+	deadline := time.Now().Add(10 * time.Second)
+	for coord.srv.Stats().BatchesDispatched.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no batch dispatched within 10s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	dr := decode[cluster.DrainResponse](t, postJSON(t, victim.ts.URL+cluster.DrainPath, struct{}{}))
+	if !dr.Draining {
+		t.Fatal("drain not acknowledged")
+	}
+	// Draining is idempotent: a second POST re-acknowledges.
+	dr = decode[cluster.DrainResponse](t, postJSON(t, victim.ts.URL+cluster.DrainPath, struct{}{}))
+	if !dr.Draining {
+		t.Fatal("second drain not acknowledged")
+	}
+
+	view := waitForJob(t, coord.ts.URL, accepted.ID)
+	if view.State != JobDone {
+		t.Fatalf("sweep finished %s (%s), want done", view.State, view.Error)
+	}
+	if view.Progress.Done != 24 || view.Progress.Total != 24 {
+		t.Fatalf("progress = %+v, want 24/24", view.Progress)
+	}
+
+	// Clean deregistration: the registry drops to two workers, the
+	// coordinator counts the drain, and the worker's heartbeat loop exits
+	// on the released ack.
+	waitForWorkers(t, coord, 2)
+	if n := coord.srv.Stats().WorkersDrained.Load(); n != 1 {
+		t.Fatalf("WorkersDrained = %d, want 1", n)
+	}
+	select {
+	case <-victim.released:
+	case <-time.After(10 * time.Second):
+		t.Fatal("drained worker's heartbeater never observed the release")
+	}
+
+	// The drained worker refuses new batches.
+	execReq := cluster.ExecuteRequest{JobID: "job-x", Configs: []cluster.ExecuteConfig{{Index: 0, Spec: json.RawMessage(`{}`)}}}
+	execResp := postJSON(t, victim.ts.URL+cluster.ExecutePath, execReq)
+	execResp.Body.Close()
+	if execResp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining worker answered execute with %d, want 503", execResp.StatusCode)
+	}
+
+	// Byte-identical to a standalone run over the same stub engine: no
+	// configuration was lost to the retiring worker, none was duplicated.
+	full := decode[JobView](t, get(t, coord.ts.URL+"/v1/jobs/"+accepted.ID))
+	gotJSON := normalizeResults(t, full.Results)
+	_, ts := newTestServer(t, config.Daemon{Workers: 2}, runner)
+	req := chaosSweep
+	req.Async = false
+	sView := decode[JobView](t, postJSON(t, ts.URL+"/v1/sweep", req))
+	wantJSON := normalizeResults(t, sView.Results)
+	if !bytes.Equal(gotJSON, wantJSON) {
+		t.Fatalf("drained cluster sweep differs from standalone run:\ncluster:\n%s\nstandalone:\n%s", gotJSON, wantJSON)
+	}
 }

@@ -130,6 +130,7 @@ func (s *Server) Handler() http.Handler {
 			mux.HandleFunc("POST "+cluster.RegisterPath, s.handleRegister)
 		case config.ModeWorker:
 			mux.HandleFunc("POST "+cluster.ExecutePath, s.handleExecute)
+			mux.HandleFunc("POST "+cluster.DrainPath, s.handleDrain)
 		}
 	}
 	return mux
@@ -499,6 +500,17 @@ type clusterHealth struct {
 	RemoteConfigs       int64                `json:"remote_configs"`
 	Heartbeats          int64                `json:"heartbeats"`
 	WorkerExpiries      int64                `json:"worker_expiries"`
+	WorkersDrained      int64                `json:"workers_drained"`
+	// Scale signal (coordinator only): the admitted backlog in estimated
+	// milliseconds of work, the live non-draining capacity slots it spreads
+	// over, and the per-slot quotient — the number an autoscaler compares
+	// against batch_target_ms. Never omitted: zero is the "scale down"
+	// reading.
+	BacklogMS     int64   `json:"backlog_ms"`
+	CapacitySlots int64   `json:"capacity_slots"`
+	ScaleSignal   float64 `json:"scale_signal_ms_per_slot"`
+	// WorkerDraining (worker mode only) reports the retirement latch.
+	WorkerDraining bool `json:"worker_draining,omitempty"`
 }
 
 type healthBody struct {
@@ -558,10 +570,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			RemoteConfigs:       s.stats.RemoteConfigs.Load(),
 			Heartbeats:          s.stats.HeartbeatsReceived.Load(),
 			WorkerExpiries:      s.stats.WorkerExpiries.Load(),
+			WorkersDrained:      s.stats.WorkersDrained.Load(),
+			WorkerDraining:      s.WorkerDraining(),
 		}
 		if ws, ok := s.ClusterWorkers(); ok {
 			ch.Workers = ws
 			ch.LiveWorkers = len(ws)
+			ch.BacklogMS, ch.CapacitySlots, ch.ScaleSignal = s.scaleSignal()
 		}
 		body.Cluster = ch
 	}
@@ -613,6 +628,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		for _, wi := range ws {
 			fmt.Fprintf(w, "rescqd_cluster_worker_capacity{worker=%q} %d\n", wi.ID, wi.Capacity)
 		}
+		backlogMS, slots, perSlot := s.scaleSignal()
+		fmt.Fprintf(w, "# HELP rescqd_cluster_backlog_ms Admitted backlog in estimated milliseconds of work (pending configs x p50).\n# TYPE rescqd_cluster_backlog_ms gauge\nrescqd_cluster_backlog_ms %d\n", backlogMS)
+		fmt.Fprintf(w, "# HELP rescqd_cluster_capacity_slots Live non-draining dispatch slots across the cluster.\n# TYPE rescqd_cluster_capacity_slots gauge\nrescqd_cluster_capacity_slots %d\n", slots)
+		fmt.Fprintf(w, "# HELP rescqd_cluster_scale_signal Backlog-ms per live capacity slot; compare against batch_target_ms to scale.\n# TYPE rescqd_cluster_scale_signal gauge\nrescqd_cluster_scale_signal %g\n", perSlot)
+	}
+	if s.clust != nil && s.clust.cfg.Mode == config.ModeWorker {
+		draining := 0
+		if s.WorkerDraining() {
+			draining = 1
+		}
+		fmt.Fprintf(w, "# HELP rescqd_worker_draining Whether this worker is retiring (fenced from new batches).\n# TYPE rescqd_worker_draining gauge\nrescqd_worker_draining %d\n", draining)
 	}
 	fmt.Fprintf(w, "# HELP rescqd_uptime_seconds Daemon uptime.\n# TYPE rescqd_uptime_seconds gauge\nrescqd_uptime_seconds %.0f\n", time.Since(s.startTime).Seconds())
 }

@@ -165,6 +165,12 @@ type Job struct {
 	Created time.Time
 
 	specs []runSpec
+	// encSpecs caches each spec's wire encoding, filled lazily by the
+	// cluster prepass the first time the job is dispatched: one marshal per
+	// configuration, reused across every dispatch, retry and hedge. Written
+	// only by the prepass goroutine; each entry is read by dispatchers only
+	// after its index passes through the work queue's mutex.
+	encSpecs [][]byte
 
 	// fromStore marks a job reconstructed from the WAL (its job record is
 	// already on disk); resumedFrom names the job this one continues.
@@ -259,6 +265,14 @@ type Server struct {
 	// pending counts run configurations admitted but not yet finished —
 	// the quantity Daemon.MaxQueueDepth bounds (admission control).
 	pending atomic.Int64
+
+	// workerDraining is the worker-mode retirement latch (POST
+	// /internal/v1/drain): sticky, announced on heartbeats, fences the
+	// execute endpoint. Distinct from draining, the process-shutdown flag.
+	workerDraining atomic.Bool
+	// execInflight counts batches currently executing on this worker's
+	// execute endpoint (drain observability).
+	execInflight atomic.Int64
 
 	shards [jobShards]jobShard
 
