@@ -84,6 +84,10 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		maxDepth = fs.Int("max-queue-depth", 0, "admission-control bound on unfinished run configurations; beyond it submissions get 429 (0 = default 4096, negative disables)")
 		walCodec = fs.String("wal-codec", "", "WAL record format for a fresh store: binary (default) or json (debug; existing logs replay either way)")
 
+		queuePolicy   = fs.String("queue-policy", "", "job scheduling policy: wfq (default; weighted fair queueing across tenants) or fifo (global arrival order)")
+		tenantWeights = fs.String("tenant-weights", "", "per-tenant WFQ weights, e.g. \"alice=3,bob=1\" (\"default\" sets the weight for unlisted tenants)")
+		tenantQuota   = fs.String("tenant-quota", "", "per-tenant quotas name=maxQueuedConfigs[:maxInflightJobs], e.g. \"alice=1000:4,bob=200\" (0 = unlimited; \"default\" applies to unlisted tenants)")
+
 		mode        = fs.String("mode", "", "cluster mode: standalone (default), coordinator, or worker")
 		coordURL    = fs.String("coordinator", "", "coordinator base URL (worker mode only)")
 		advertise   = fs.String("advertise", "", "base URL the coordinator dials back for this worker; empty derives http://127.0.0.1:<bound port>")
@@ -101,10 +105,21 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		return 2
 	}
 
+	var tenants config.Tenants
+	if err := tenants.ApplyWeightFlag(*tenantWeights); err != nil {
+		fmt.Fprintln(stderr, "rescqd:", err)
+		return 2
+	}
+	if err := tenants.ApplyQuotaFlag(*tenantQuota); err != nil {
+		fmt.Fprintln(stderr, "rescqd:", err)
+		return 2
+	}
+
 	cfg := config.Daemon{
 		Addr: *addr, Workers: *workers, QueueDepth: *queue,
 		CacheEntries: *cache, DrainTimeoutSec: *drain, Layout: *layout,
 		StoreDir: *storeDir, MaxQueueDepth: *maxDepth, WALCodec: *walCodec,
+		QueuePolicy: *queuePolicy, Tenants: tenants,
 		Cluster: config.Cluster{
 			Mode:                *mode,
 			CoordinatorURL:      *coordURL,
@@ -182,8 +197,8 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 	if cfg.Cluster.Clustered() {
 		modeNote = " mode=" + cfg.Cluster.Mode
 	}
-	fmt.Fprintf(stdout, "rescqd: listening on %s (workers=%d queue=%d cache=%d%s)\n",
-		ln.Addr(), svc.Workers(), cfg.QueueDepth, cfg.CacheEntries, modeNote)
+	fmt.Fprintf(stdout, "rescqd: listening on %s (workers=%d queue=%d cache=%d policy=%s%s)\n",
+		ln.Addr(), svc.Workers(), cfg.QueueDepth, cfg.CacheEntries, cfg.QueuePolicy, modeNote)
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}

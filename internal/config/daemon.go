@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/fault"
 	"repro/internal/lattice"
+	"repro/internal/schedq"
 )
 
 // Daemon configures the rescqd serving daemon (see internal/service). A
@@ -67,6 +68,13 @@ type Daemon struct {
 	// FaultSeed seeds the schedule's probabilistic triggers (default 1), so
 	// a chaos run reproduces exactly from its printed seed.
 	FaultSeed int64 `json:"fault_seed,omitempty"`
+	// QueuePolicy selects the job scheduler (see internal/schedq): "wfq"
+	// (the default — weighted fair queueing across tenants) or "fifo"
+	// (global arrival order, the pre-tenant behavior).
+	QueuePolicy string `json:"queue_policy,omitempty"`
+	// Tenants configures per-tenant weights and quotas for the scheduler.
+	// The zero value is fully permissive (weight 1, no quotas).
+	Tenants Tenants `json:"tenants"`
 }
 
 // WithDefaults fills unset daemon fields.
@@ -86,7 +94,11 @@ func (d Daemon) WithDefaults() Daemon {
 	if d.MaxQueueDepth == 0 {
 		d.MaxQueueDepth = 4096
 	}
+	if d.QueuePolicy == "" {
+		d.QueuePolicy = schedq.WFQ
+	}
 	d.Cluster = d.Cluster.WithDefaults()
+	d.Tenants = d.Tenants.WithDefaults()
 	return d
 }
 
@@ -123,6 +135,13 @@ func (d Daemon) Validate() error {
 		if err := fault.Validate(d.Failpoints); err != nil {
 			return fmt.Errorf("config: failpoints: %w", err)
 		}
+	}
+	if !schedq.Known(d.QueuePolicy) {
+		return fmt.Errorf("config: unknown queue_policy %q (registered: %s)",
+			d.QueuePolicy, strings.Join(schedq.Names(), ", "))
+	}
+	if err := d.Tenants.Validate(); err != nil {
+		return err
 	}
 	return d.Cluster.Validate()
 }

@@ -1,0 +1,186 @@
+package config
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/schedq"
+)
+
+// TenantPolicy is one tenant's scheduling policy in the daemon config.
+// Weight 0 inherits the section default; quota fields 0 mean unlimited
+// for this tenant (an explicit entry spells out its own bounds — the
+// section defaults apply only to tenants without an entry).
+type TenantPolicy struct {
+	// Weight is the tenant's relative share of the worker pool under
+	// contention (weighted fair queueing); 0 inherits DefaultWeight.
+	Weight int `json:"weight,omitempty"`
+	// MaxQueuedConfigs bounds the tenant's admitted-but-unfinished run
+	// configurations; submissions beyond it are shed with 429 and a
+	// Retry-After computed from this tenant's own backlog. 0 = unlimited.
+	MaxQueuedConfigs int `json:"max_queued_configs,omitempty"`
+	// MaxInflightJobs bounds the tenant's open (queued + running) jobs.
+	// 0 = unlimited.
+	MaxInflightJobs int `json:"max_inflight_jobs,omitempty"`
+}
+
+// Tenants is the daemon's multi-tenant scheduling section: the default
+// policy for unlisted tenants and per-tenant overrides. The zero value is
+// fully permissive — weight 1 for everyone, no quotas — which is exactly
+// the pre-tenant behavior for a daemon serving only untagged traffic.
+type Tenants struct {
+	// DefaultWeight is the WFQ weight for tenants without an entry in
+	// Policies (0 means 1).
+	DefaultWeight int `json:"default_weight,omitempty"`
+	// DefaultMaxQueuedConfigs / DefaultMaxInflightJobs are the quotas for
+	// tenants without an entry (0 = unlimited).
+	DefaultMaxQueuedConfigs int `json:"default_max_queued_configs,omitempty"`
+	DefaultMaxInflightJobs  int `json:"default_max_inflight_jobs,omitempty"`
+	// Policies maps tenant name to its policy.
+	Policies map[string]TenantPolicy `json:"policies,omitempty"`
+}
+
+// WithDefaults fills unset tenant-section fields.
+func (t Tenants) WithDefaults() Tenants {
+	if t.DefaultWeight == 0 {
+		t.DefaultWeight = 1
+	}
+	return t
+}
+
+// Validate reports tenant-section configuration errors.
+func (t Tenants) Validate() error {
+	if t.DefaultWeight < 0 || t.DefaultMaxQueuedConfigs < 0 || t.DefaultMaxInflightJobs < 0 {
+		return fmt.Errorf("config: tenants: defaults must be non-negative")
+	}
+	for name, p := range t.Policies {
+		if err := schedq.ValidTenant(name); err != nil {
+			return fmt.Errorf("config: tenants: %w", err)
+		}
+		if p.Weight < 0 {
+			return fmt.Errorf("config: tenants: %s: weight must be non-negative", name)
+		}
+		if p.MaxQueuedConfigs < 0 || p.MaxInflightJobs < 0 {
+			return fmt.Errorf("config: tenants: %s: quotas must be non-negative", name)
+		}
+	}
+	return nil
+}
+
+// SchedConfig resolves the section into the scheduler's config: weights
+// inherited, quotas spelled out per entry, capacity from the job-queue
+// depth (the bound the buffered channel used to impose).
+func (t Tenants) SchedConfig(capacity int) schedq.Config {
+	t = t.WithDefaults()
+	def := schedq.Policy{
+		Weight:           t.DefaultWeight,
+		MaxQueuedConfigs: int64(t.DefaultMaxQueuedConfigs),
+		MaxInflightJobs:  t.DefaultMaxInflightJobs,
+	}
+	var m map[string]schedq.Policy
+	if len(t.Policies) > 0 {
+		m = make(map[string]schedq.Policy, len(t.Policies))
+		for name, p := range t.Policies {
+			w := p.Weight
+			if w <= 0 {
+				w = def.Weight
+			}
+			m[name] = schedq.Policy{
+				Weight:           w,
+				MaxQueuedConfigs: int64(p.MaxQueuedConfigs),
+				MaxInflightJobs:  p.MaxInflightJobs,
+			}
+		}
+	}
+	return schedq.Config{Capacity: capacity, Default: def, Tenants: m}
+}
+
+// policyFor returns (creating if needed) the named tenant's policy entry
+// for flag application.
+func (t *Tenants) policyFor(name string) TenantPolicy {
+	if p, ok := t.Policies[name]; ok {
+		return p
+	}
+	return TenantPolicy{}
+}
+
+func (t *Tenants) setPolicy(name string, p TenantPolicy) {
+	if t.Policies == nil {
+		t.Policies = make(map[string]TenantPolicy)
+	}
+	t.Policies[name] = p
+}
+
+// ApplyWeightFlag parses a -tenant-weights value — comma-separated
+// name=weight pairs, e.g. "alice=3,bob=1" — into the section. The name
+// "default" sets DefaultWeight (untagged traffic IS the default tenant,
+// so the spelling is literal, not special).
+func (t *Tenants) ApplyWeightFlag(s string) error {
+	return applyPairs(s, func(name, val string) error {
+		w, err := strconv.Atoi(val)
+		if err != nil || w < 1 {
+			return fmt.Errorf("config: tenant weight %q=%q: want a positive integer", name, val)
+		}
+		if name == schedq.DefaultTenant {
+			t.DefaultWeight = w
+			return nil
+		}
+		p := t.policyFor(name)
+		p.Weight = w
+		t.setPolicy(name, p)
+		return nil
+	})
+}
+
+// ApplyQuotaFlag parses a -tenant-quota value — comma-separated
+// name=maxQueuedConfigs[:maxInflightJobs] entries, e.g.
+// "alice=1000:4,bob=200" (0 = unlimited). The name "default" sets the
+// section defaults applied to unlisted tenants.
+func (t *Tenants) ApplyQuotaFlag(s string) error {
+	return applyPairs(s, func(name, val string) error {
+		cfgPart, jobsPart, hasJobs := strings.Cut(val, ":")
+		maxConfigs, err := strconv.Atoi(cfgPart)
+		if err != nil || maxConfigs < 0 {
+			return fmt.Errorf("config: tenant quota %q=%q: want maxQueuedConfigs[:maxInflightJobs]", name, val)
+		}
+		maxJobs := 0
+		if hasJobs {
+			if maxJobs, err = strconv.Atoi(jobsPart); err != nil || maxJobs < 0 {
+				return fmt.Errorf("config: tenant quota %q=%q: want maxQueuedConfigs[:maxInflightJobs]", name, val)
+			}
+		}
+		if name == schedq.DefaultTenant {
+			t.DefaultMaxQueuedConfigs = maxConfigs
+			t.DefaultMaxInflightJobs = maxJobs
+			return nil
+		}
+		p := t.policyFor(name)
+		p.MaxQueuedConfigs = maxConfigs
+		p.MaxInflightJobs = maxJobs
+		t.setPolicy(name, p)
+		return nil
+	})
+}
+
+// applyPairs splits "a=1,b=2" and validates each tenant name before
+// handing the pair to apply.
+func applyPairs(s string, apply func(name, val string) error) error {
+	for _, pair := range strings.Split(s, ",") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(pair, "=")
+		if !ok {
+			return fmt.Errorf("config: tenant entry %q: want name=value", pair)
+		}
+		if err := schedq.ValidTenant(name); err != nil {
+			return fmt.Errorf("config: %w", err)
+		}
+		if err := apply(name, val); err != nil {
+			return err
+		}
+	}
+	return nil
+}

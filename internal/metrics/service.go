@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -21,6 +22,7 @@ type ServiceStats struct {
 	JobsCancelled atomic.Int64 // jobs cancelled before completion
 	JobsRejected  atomic.Int64 // jobs refused because the queue was full or draining
 	JobsShed      atomic.Int64 // submissions shed by admission control (429 + Retry-After)
+	JobsPreempted atomic.Int64 // running jobs checkpointed and requeued by the scheduler
 	CacheHits     atomic.Int64 // run configurations served from the result cache
 	CacheMisses   atomic.Int64 // run configurations that had to simulate
 	EngineRuns    atomic.Int64 // actual engine invocations (miss + uncacheable)
@@ -61,6 +63,68 @@ type ServiceStats struct {
 	mu            sync.Mutex
 	latency       *Histogram // completed-job latency in milliseconds
 	configLatency *Histogram // per-configuration execution latency in milliseconds
+
+	tenantMu sync.Mutex
+	tenants  map[string]*TenantCounters
+}
+
+// TenantCounters is one tenant's slice of the job-lifecycle counters, fed
+// by the service alongside the global set and rendered as labeled
+// rescqd_tenant_* series. The struct is created on first touch and lives
+// for the daemon's lifetime — tenant cardinality is bounded by the
+// scheduler's own tenant-table cap.
+type TenantCounters struct {
+	Queued    atomic.Int64 // jobs accepted for this tenant, lifetime total
+	Running   atomic.Int64 // this tenant's jobs currently executing (gauge)
+	Done      atomic.Int64 // this tenant's jobs reaching a terminal state
+	Shed      atomic.Int64 // submissions shed by this tenant's quota (429)
+	Preempted atomic.Int64 // times this tenant's running jobs were preempted
+}
+
+// Tenant returns (creating if needed) the named tenant's counter set.
+func (s *ServiceStats) Tenant(name string) *TenantCounters {
+	s.tenantMu.Lock()
+	defer s.tenantMu.Unlock()
+	if s.tenants == nil {
+		s.tenants = make(map[string]*TenantCounters)
+	}
+	tc, ok := s.tenants[name]
+	if !ok {
+		tc = &TenantCounters{}
+		s.tenants[name] = tc
+	}
+	return tc
+}
+
+// TenantSnapshot is a point-in-time copy of one tenant's counters.
+type TenantSnapshot struct {
+	Queued    int64 `json:"queued"`
+	Running   int64 `json:"running"`
+	Done      int64 `json:"done"`
+	Shed      int64 `json:"shed"`
+	Preempted int64 `json:"preempted"`
+}
+
+// TenantSnapshots captures every tenant's counters, keyed by tenant name.
+// Returns nil when no tenant has been touched (a daemon serving only
+// untagged traffic still counts it all under the default tenant).
+func (s *ServiceStats) TenantSnapshots() map[string]TenantSnapshot {
+	s.tenantMu.Lock()
+	defer s.tenantMu.Unlock()
+	if len(s.tenants) == 0 {
+		return nil
+	}
+	out := make(map[string]TenantSnapshot, len(s.tenants))
+	for name, tc := range s.tenants {
+		out[name] = TenantSnapshot{
+			Queued:    tc.Queued.Load(),
+			Running:   tc.Running.Load(),
+			Done:      tc.Done.Load(),
+			Shed:      tc.Shed.Load(),
+			Preempted: tc.Preempted.Load(),
+		}
+	}
+	return out
 }
 
 // NewServiceStats returns a zeroed counter set.
@@ -129,6 +193,7 @@ type Snapshot struct {
 	JobsCancelled   int64 `json:"jobs_cancelled"`
 	JobsRejected    int64 `json:"jobs_rejected"`
 	JobsShed        int64 `json:"jobs_shed"`
+	JobsPreempted   int64 `json:"jobs_preempted"`
 	CacheHits       int64 `json:"cache_hits"`
 	CacheMisses     int64 `json:"cache_misses"`
 	EngineRuns      int64 `json:"engine_runs"`
@@ -165,6 +230,10 @@ type Snapshot struct {
 	ConfigLatencyCount int64 `json:"config_latency_count"`
 	ConfigLatencyP50ms int64 `json:"config_latency_p50_ms"`
 	ConfigLatencyP99ms int64 `json:"config_latency_p99_ms"`
+
+	// Tenants holds per-tenant lifecycle counters, keyed by tenant name
+	// (nil when no tenant has been touched).
+	Tenants map[string]TenantSnapshot `json:"tenants,omitempty"`
 }
 
 // Snapshot captures the current counter values.
@@ -182,6 +251,7 @@ func (s *ServiceStats) Snapshot() Snapshot {
 		JobsCancelled:   s.JobsCancelled.Load(),
 		JobsRejected:    s.JobsRejected.Load(),
 		JobsShed:        s.JobsShed.Load(),
+		JobsPreempted:   s.JobsPreempted.Load(),
 		CacheHits:       s.CacheHits.Load(),
 		CacheMisses:     s.CacheMisses.Load(),
 		EngineRuns:      s.EngineRuns.Load(),
@@ -218,6 +288,8 @@ func (s *ServiceStats) Snapshot() Snapshot {
 		ConfigLatencyCount: int64(cfgN),
 		ConfigLatencyP50ms: int64(cfgP50),
 		ConfigLatencyP99ms: int64(cfgP99),
+
+		Tenants: s.TenantSnapshots(),
 	}
 }
 
@@ -240,6 +312,7 @@ func (s Snapshot) RenderProm(prefix string) string {
 	counter("jobs_cancelled_total", "Jobs cancelled before completion.", s.JobsCancelled)
 	counter("jobs_rejected_total", "Jobs refused (queue full or draining).", s.JobsRejected)
 	counter("jobs_shed_total", "Submissions shed by admission control (429).", s.JobsShed)
+	counter("jobs_preempted_total", "Running jobs checkpointed and requeued by the scheduler.", s.JobsPreempted)
 	counter("cache_hits_total", "Run configurations served from the result cache.", s.CacheHits)
 	counter("cache_misses_total", "Run configurations that had to simulate.", s.CacheMisses)
 	counter("engine_runs_total", "Engine invocations.", s.EngineRuns)
@@ -279,5 +352,28 @@ func (s Snapshot) RenderProm(prefix string) string {
 	fmt.Fprintf(&sb, "# HELP %s_config_latency_ms Per-configuration latency quantiles in milliseconds.\n# TYPE %s_config_latency_ms summary\n", prefix, prefix)
 	fmt.Fprintf(&sb, "%s_config_latency_ms{quantile=\"0.5\"} %d\n", prefix, s.ConfigLatencyP50ms)
 	fmt.Fprintf(&sb, "%s_config_latency_ms{quantile=\"0.99\"} %d\n", prefix, s.ConfigLatencyP99ms)
+	if len(s.Tenants) > 0 {
+		names := make([]string, 0, len(s.Tenants))
+		for name := range s.Tenants {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		perTenant := func(name, kind, help string, v func(TenantSnapshot) int64) {
+			fmt.Fprintf(&sb, "# HELP %s_%s %s\n# TYPE %s_%s %s\n", prefix, name, help, prefix, name, kind)
+			for _, tn := range names {
+				fmt.Fprintf(&sb, "%s_%s{tenant=%q} %d\n", prefix, name, tn, v(s.Tenants[tn]))
+			}
+		}
+		perTenant("tenant_jobs_queued_total", "counter", "Jobs accepted, by tenant.",
+			func(t TenantSnapshot) int64 { return t.Queued })
+		perTenant("tenant_jobs_running", "gauge", "Jobs currently executing, by tenant.",
+			func(t TenantSnapshot) int64 { return t.Running })
+		perTenant("tenant_jobs_done_total", "counter", "Jobs reaching a terminal state, by tenant.",
+			func(t TenantSnapshot) int64 { return t.Done })
+		perTenant("tenant_jobs_shed_total", "counter", "Submissions shed by tenant quota (429), by tenant.",
+			func(t TenantSnapshot) int64 { return t.Shed })
+		perTenant("tenant_jobs_preempted_total", "counter", "Preemptions of running jobs, by tenant.",
+			func(t TenantSnapshot) int64 { return t.Preempted })
+	}
 	return sb.String()
 }

@@ -1,0 +1,42 @@
+package schedq
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkSchedulerPickNext measures the WFQ hot path at steady state:
+// one Pop (a victim scan over the tenant table) plus the completion
+// charge and requeue that put the item back, over a table of 64
+// backlogged tenants with 16 queued jobs each. This is the per-pickup
+// overhead every worker slot pays, so it rides the bench-compare gate —
+// a regression here taxes every job in the system.
+func BenchmarkSchedulerPickNext(b *testing.B) {
+	const tenants, jobsPer = 64, 16
+	q, err := New(WFQ, Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	type tagged struct{ tenant string }
+	for i := 0; i < tenants; i++ {
+		name := fmt.Sprintf("tenant-%02d", i)
+		for k := 0; k < jobsPer; k++ {
+			if err := q.Push(name, 100, &tagged{tenant: name}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it, ok := q.Pop()
+		if !ok {
+			b.Fatal("scheduler closed")
+		}
+		tg := it.(*tagged)
+		q.Completed(tg.tenant, 1)
+		if err := q.Requeue(tg.tenant, it); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,229 @@
+// Package schedq is rescqd's tenant-aware scheduling layer: the pluggable
+// job queue sitting between submission and the worker pool. It replaces
+// the single buffered channel the daemon started with — under which one
+// tenant's multi-thousand-configuration sweep starved every submission
+// behind it — with per-tenant queues drained by a policy.
+//
+// Two policies are registered:
+//
+//   - "wfq" (the default): weighted fair queueing over virtual time. Each
+//     tenant accumulates virtual time proportional to the configurations
+//     executed on its behalf divided by its weight; Pop always serves the
+//     backlogged tenant with the least virtual time, and Yield tells a
+//     running job to checkpoint at its next configuration boundary when a
+//     lower-virtual-time tenant is waiting. Idle tenants earn no credit:
+//     on arrival after idleness a tenant's clock is floored to the global
+//     virtual time, so a tenant cannot bank hours of silence and then
+//     monopolize the pool.
+//   - "fifo": strict arrival order across all tenants (the pre-scheduler
+//     behavior). Quota enforcement and per-tenant accounting still apply;
+//     Yield never fires.
+//
+// The scheduler also owns per-tenant admission quotas: a bound on
+// admitted-but-unfinished configurations (backlog) and on open (queued +
+// running) jobs. Quota rejections carry the tenant's own backlog so the
+// HTTP layer can compute a per-tenant Retry-After instead of quoting the
+// global queue.
+//
+// Accounting protocol (the service drives it):
+//
+//	Push / PushExempt  admit a job of `cost` unfinished configurations
+//	Requeue            re-enter a preempted continuation (nothing recounted)
+//	Pop                worker pickup; blocks, drains after Close
+//	Completed          n configurations finished: backlog down, clock up
+//	Abandon            n configurations that will never run: backlog down
+//	JobDone            the job reached a terminal state: open-jobs down
+package schedq
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// DefaultTenant is the identity assigned to untagged traffic — requests
+// that name no tenant, and every job written to the WAL before tenancy
+// existed.
+const DefaultTenant = "default"
+
+// Typed admission errors. The service maps ErrClosed to its draining
+// rejection and ErrFull to its queue-full rejection; QuotaError becomes a
+// 429 with a per-tenant Retry-After.
+var (
+	ErrClosed = errors.New("schedq: scheduler closed")
+	ErrFull   = errors.New("schedq: queue full")
+)
+
+// QuotaError reports a per-tenant admission rejection: the submission
+// would exceed the tenant's configured quota. Backlog is the tenant's own
+// admitted-but-unfinished configuration count at rejection time — the
+// number a Retry-After hint should be derived from.
+type QuotaError struct {
+	Tenant  string
+	Kind    string // "configs" (backlog bound) or "jobs" (open-job bound)
+	Backlog int64
+	Limit   int64
+}
+
+func (e *QuotaError) Error() string {
+	return fmt.Sprintf("schedq: tenant %q over %s quota (backlog %d, limit %d)",
+		e.Tenant, e.Kind, e.Backlog, e.Limit)
+}
+
+// Policy is one tenant's resolved scheduling policy. Zero quota fields
+// mean unlimited; Weight <= 0 falls back to the configured default.
+type Policy struct {
+	Weight           int   // relative share of the pool under contention
+	MaxQueuedConfigs int64 // bound on admitted-but-unfinished configurations
+	MaxInflightJobs  int   // bound on open (queued + running) jobs
+}
+
+// Config parameterizes a scheduler instance.
+type Config struct {
+	// Capacity bounds queued jobs (the channel-depth analogue); <= 0 means
+	// unbounded. Preempted continuations re-enter above this bound — they
+	// were admitted once and dropping them would strand the job.
+	Capacity int
+	// Default applies to tenants without an explicit entry in Tenants.
+	Default Policy
+	// Tenants maps tenant name to its resolved policy.
+	Tenants map[string]Policy
+}
+
+// TenantSnapshot is one tenant's live scheduling state, for /healthz and
+// the per-tenant Prometheus gauges.
+type TenantSnapshot struct {
+	Tenant      string  `json:"tenant"`
+	Weight      int     `json:"weight"`
+	QueuedJobs  int     `json:"queued_jobs"`
+	OpenJobs    int     `json:"open_jobs"`
+	Backlog     int64   `json:"backlog_configs"`
+	VirtualTime float64 `json:"virtual_time"`
+}
+
+// Scheduler is the pluggable queue between submission and the worker
+// pool. Push/Pop carry opaque items (the service's *Job) so the package
+// stays dependency-free. All methods are safe for concurrent use.
+type Scheduler interface {
+	// Push admits one job for tenant, costing `cost` unfinished
+	// configurations against its quota and backlog. Returns ErrClosed
+	// after Close, a *QuotaError over a tenant bound, or ErrFull when the
+	// global capacity is exhausted.
+	Push(tenant string, cost int64, item any) error
+	// PushExempt admits bypassing the tenant quotas (WAL-replayed jobs:
+	// their work was admitted in a previous life) but still counting the
+	// backlog and respecting capacity.
+	PushExempt(tenant string, cost int64, item any) error
+	// Requeue re-enqueues a preempted continuation. Its cost and open-job
+	// slot are already accounted, so neither quotas nor capacity apply;
+	// only ErrClosed is possible.
+	Requeue(tenant string, item any) error
+	// Pop blocks until an item is available, returning ok=false only once
+	// the scheduler is closed AND drained — the channel-range contract the
+	// worker pool was built on.
+	Pop() (item any, ok bool)
+	// Completed reports n configurations of tenant's admitted work
+	// executed: backlog shrinks and the tenant's virtual clock advances.
+	Completed(tenant string, n int64)
+	// Abandon releases n admitted configurations that will never run
+	// (cancelled or failed jobs): backlog shrinks, no virtual-time charge.
+	Abandon(tenant string, n int64)
+	// JobDone reports one of tenant's open jobs reaching a terminal state.
+	JobDone(tenant string)
+	// Yield reports whether work running on tenant's behalf should
+	// checkpoint at its next configuration boundary because a
+	// better-entitled tenant is waiting. Always false under FIFO.
+	Yield(tenant string) bool
+	// Backlog returns tenant's admitted-but-unfinished configurations.
+	Backlog(tenant string) int64
+	// Len returns the queued-job count across all tenants.
+	Len() int
+	// Close stops admission and wakes every Pop; queued items drain first.
+	Close()
+	// Snapshot returns per-tenant live state, sorted by tenant name.
+	Snapshot() []TenantSnapshot
+}
+
+// Registered policy names.
+const (
+	WFQ  = "wfq"
+	FIFO = "fifo"
+)
+
+var (
+	regMu     sync.RWMutex
+	factories = map[string]func(Config) Scheduler{}
+)
+
+// Register adds a scheduler factory under name, following the same
+// registry idiom as the engine's scheduler and layout registries, so an
+// alternative policy plugs in without touching the service.
+func Register(name string, f func(Config) Scheduler) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	factories[name] = f
+}
+
+// New builds the named scheduler ("" means the default, WFQ).
+func New(name string, cfg Config) (Scheduler, error) {
+	if name == "" {
+		name = WFQ
+	}
+	regMu.RLock()
+	f, ok := factories[name]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("schedq: unknown policy %q (registered: %v)", name, Names())
+	}
+	return f(cfg), nil
+}
+
+// Known reports whether name resolves to a registered policy ("" counts:
+// it resolves to the default).
+func Known(name string) bool {
+	if name == "" {
+		return true
+	}
+	regMu.RLock()
+	defer regMu.RUnlock()
+	_, ok := factories[name]
+	return ok
+}
+
+// Names returns the registered policy names, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(factories))
+	for n := range factories {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ValidTenant reports whether name is usable as a tenant identity: 1-64
+// characters from [A-Za-z0-9._-]. Shared by the HTTP layer (request
+// validation) and the config layer (policy-table validation) so the two
+// can never disagree.
+func ValidTenant(name string) error {
+	if name == "" || len(name) > 64 {
+		return fmt.Errorf("schedq: tenant name must be 1-64 characters")
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return fmt.Errorf("schedq: tenant name %q: invalid character %q (want [A-Za-z0-9._-])", name, c)
+		}
+	}
+	return nil
+}
+
+func init() {
+	Register(WFQ, func(cfg Config) Scheduler { return newQueue(cfg, false) })
+	Register(FIFO, func(cfg Config) Scheduler { return newQueue(cfg, true) })
+}

@@ -263,8 +263,17 @@ func (q *sequencer) deliver(idx int, res ConfigResult) {
 		q.s.persistResult(q.j, q.j.specs[q.next], r)
 		q.j.events <- r // buffered to len(specs): never blocks
 		q.s.pending.Add(-1)
+		q.s.sched.Completed(q.j.Tenant, 1)
 		q.next++
 	}
+}
+
+// progress returns the contiguous completed prefix length — the index the
+// job would resume from if preempted right now.
+func (q *sequencer) progress() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.next
 }
 
 // Deadline and hedge derivation. Both are multiples of the observed
@@ -442,8 +451,10 @@ func (z *batchSizer) steady() int {
 // batches off the queue — one per acquired worker slot. A worker that
 // finishes a batch early frees its slot and the loop immediately pulls the
 // next batch for it: work steals itself to fast workers without a stealing
-// protocol. Returns whether the job was cancelled.
-func (s *Server) executeSharded(j *Job, startIdx int) (cancelled bool) {
+// protocol. Returns whether the job was cancelled, and whether the
+// scheduler preempted it at a batch boundary (the caller requeues it as a
+// resumable continuation).
+func (s *Server) executeSharded(j *Job, startIdx int) (cancelled, preempted bool) {
 	seq := &sequencer{s: s, j: j, next: startIdx, ready: make(map[int]ConfigResult)}
 	q := newWorkQueue(len(j.specs) - startIdx)
 	if j.encSpecs == nil {
@@ -480,11 +491,19 @@ func (s *Server) executeSharded(j *Job, startIdx int) (cancelled bool) {
 	// waste is bounded — every remote result re-seeds the coordinator cache
 	// the moment it lands, and deterministic simulations make the
 	// duplicates harmless.
+	// preempt stops both the prepass and the dispatch loop at the next
+	// boundary once the scheduler asks for the slot back. In-flight batches
+	// still land (wg.Wait below): their results re-seed the coordinator
+	// cache, so the resumed job replays them as hits instead of recomputing.
+	var preempt atomic.Bool
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
 		defer q.close()
 		for i := startIdx; i < len(j.specs); i++ {
+			if preempt.Load() {
+				return
+			}
 			spec := j.specs[i]
 			if s.cache != nil {
 				if v, ok := s.cache.get(specKey(spec)); ok && cacheUsable(v, spec) {
@@ -515,6 +534,13 @@ func (s *Server) executeSharded(j *Job, startIdx int) (cancelled bool) {
 
 	sizer := newBatchSizer(s)
 	for bi := 0; q.wait(j.ctx); {
+		// Preemption check at the batch boundary, only once the quantum has
+		// made progress (the contiguous prefix grew past the pickup point) —
+		// the same ≥1-configuration guarantee as the local path.
+		if seq.progress() > startIdx && s.shouldPreempt(j) {
+			preempt.Store(true)
+			break
+		}
 		lease, err := s.clust.registry.Acquire(j.ctx)
 		if errors.Is(err, cluster.ErrNoWorkers) {
 			// The whole cluster is gone right now. Drain one batch through
@@ -541,8 +567,12 @@ func (s *Server) executeSharded(j *Job, startIdx int) (cancelled bool) {
 		}(bi, idxs, lease)
 		bi++
 	}
+	// The barrier below is also the preemption fence: every in-flight batch
+	// and the old sequencer are fully drained before the job re-enters the
+	// scheduler, so a resumed quantum can never race this one.
 	wg.Wait()
-	return j.ctx.Err() != nil
+	cancelled = j.ctx.Err() != nil
+	return cancelled, preempt.Load() && !cancelled
 }
 
 // buildExecuteRequest assembles one batch's wire form from the job's

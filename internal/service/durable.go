@@ -8,6 +8,7 @@ import (
 	"time"
 
 	rescq "repro"
+	"repro/internal/schedq"
 	"repro/internal/store"
 )
 
@@ -172,10 +173,17 @@ func (s *Server) durabilityProbe() {
 // back queued with their completed prefix in place, ready to resume.
 func (s *Server) replayJob(rj store.ReplayedJob, specs []runSpec) *Job {
 	ctx, cancel := context.WithCancel(s.baseCtx)
+	tenant := rj.Job.Tenant
+	if tenant == "" {
+		// Records written before tenancy existed (and all default-tenant
+		// traffic since, which persists as "") replay as the default tenant.
+		tenant = schedq.DefaultTenant
+	}
 	j := &Job{
 		ID:        rj.Job.ID,
 		Kind:      rj.Job.Kind,
 		Created:   rj.Job.Created,
+		Tenant:    tenant,
 		specs:     specs,
 		fromStore: true,
 		ctx:       ctx,
@@ -225,7 +233,7 @@ func parseJobID(id string) int64 {
 // crash resumes from the same point.
 func (s *Server) resumeJob(j *Job) *Job {
 	_, _, _, results, _ := j.snapshot()
-	nj := s.buildJob(j.Kind, j.specs)
+	nj := s.buildJob(j.Kind, j.Tenant, j.specs)
 	nj.resumedFrom = j.ID
 	nj.results = results
 	s.registerJob(nj) // visible to listings only once fully populated
@@ -249,8 +257,14 @@ func (s *Server) persistJob(j *Job) {
 		s.stats.StoreErrors.Add(1)
 		return
 	}
+	// Default-tenant jobs persist with an empty tenant so their records
+	// stay byte-identical to pre-tenancy logs; replay maps "" back.
+	tenant := j.Tenant
+	if tenant == schedq.DefaultTenant {
+		tenant = ""
+	}
 	if err := s.store.AppendJob(store.JobRecord{
-		ID: j.ID, Kind: j.Kind, Created: j.Created, Specs: specs,
+		ID: j.ID, Kind: j.Kind, Created: j.Created, Specs: specs, Tenant: tenant,
 	}); err != nil {
 		s.persistFailed()
 		return

@@ -669,7 +669,7 @@ func TestStreamWriteFailureCancelsJob(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	j := s.newJob("sweep", specs)
+	j := s.newJob("sweep", "", specs)
 	if err := s.submit(j); err != nil {
 		t.Fatal(err)
 	}

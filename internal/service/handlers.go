@@ -13,6 +13,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/config"
 	"repro/internal/fault"
+	"repro/internal/schedq"
 	"repro/internal/store"
 )
 
@@ -36,6 +37,9 @@ type RunRequest struct {
 	// IncludeLatencies keeps the per-gate latency arrays in the response
 	// (they are stripped by default — tens of thousands of ints per run).
 	IncludeLatencies bool `json:"include_latencies,omitempty"`
+	// Tenant names the submitting tenant for scheduling and quotas; it
+	// overrides the X-Rescq-Tenant header. Empty means the default tenant.
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // RunResponse is the POST /v1/run reply.
@@ -58,6 +62,7 @@ type JobProgress struct {
 type JobView struct {
 	ID       string         `json:"id"`
 	Kind     string         `json:"kind"`
+	Tenant   string         `json:"tenant"`
 	State    JobState       `json:"state"`
 	Created  time.Time      `json:"created"`
 	Started  *time.Time     `json:"started,omitempty"`
@@ -74,6 +79,7 @@ func (s *Server) jobView(j *Job, includeResults bool) JobView {
 	v := JobView{
 		ID:       j.ID,
 		Kind:     j.Kind,
+		Tenant:   j.Tenant,
 		State:    state,
 		Created:  j.Created,
 		Progress: JobProgress{Done: len(results), Total: len(j.specs)},
@@ -152,6 +158,28 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, errorBody{Error: err.Error()})
 }
 
+// TenantHeader is the request header naming the submitting tenant for /v1
+// submissions. A `tenant` body field overrides it; requests carrying
+// neither run as the default tenant.
+const TenantHeader = "X-Rescq-Tenant"
+
+// resolveTenant derives a submission's tenant identity: body field over
+// header over the default tenant. An identity that names a tenant must be
+// a valid tenant name (400 otherwise).
+func resolveTenant(r *http.Request, bodyTenant string) (string, error) {
+	tn := bodyTenant
+	if tn == "" {
+		tn = r.Header.Get(TenantHeader)
+	}
+	if tn == "" {
+		return schedq.DefaultTenant, nil
+	}
+	if err := schedq.ValidTenant(tn); err != nil {
+		return "", err
+	}
+	return tn, nil
+}
+
 // submitStatus maps a submission error to its HTTP status.
 func submitStatus(err error) int {
 	if errors.Is(err, ErrQueueFull) || errors.Is(err, ErrDraining) {
@@ -187,7 +215,12 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	j := s.newJob("run", []runSpec{spec})
+	tenant, err := resolveTenant(r, req.Tenant)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	j := s.newJob("run", tenant, []runSpec{spec})
 	if err := s.submit(j); err != nil {
 		writeSubmitError(w, err)
 		return
@@ -233,7 +266,12 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	j := s.newJob("sweep", specs)
+	tenant, err := resolveTenant(r, req.Tenant)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	j := s.newJob("sweep", tenant, specs)
 	if err := s.submit(j); err != nil {
 		writeSubmitError(w, err)
 		return
@@ -352,8 +390,12 @@ func (s *Server) streamEvents(r *http.Request, j *Job, onConfig func(ConfigResul
 
 func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	jobs := s.Jobs()
+	tenant := r.URL.Query().Get("tenant")
 	views := make([]JobView, 0, len(jobs))
 	for _, j := range jobs {
+		if tenant != "" && j.Tenant != tenant {
+			continue
+		}
 		views = append(views, s.jobView(j, false))
 	}
 	// Sort by the numeric job counter, not the id string: the registry
@@ -513,18 +555,34 @@ type clusterHealth struct {
 	WorkerDraining bool `json:"worker_draining,omitempty"`
 }
 
+// tenantHealth is one tenant's /healthz row: live scheduler state joined
+// with the tenant's lifecycle counters.
+type tenantHealth struct {
+	Weight         int     `json:"weight"`
+	QueuedJobs     int     `json:"queued_jobs"`
+	OpenJobs       int     `json:"open_jobs"`
+	BacklogConfigs int64   `json:"backlog_configs"`
+	VirtualTime    float64 `json:"virtual_time"`
+	Running        int64   `json:"running"`
+	ShedTotal      int64   `json:"shed_total"`
+	PreemptedTotal int64   `json:"preempted_total"`
+}
+
 type healthBody struct {
-	Status         string         `json:"status"`
-	UptimeSec      float64        `json:"uptime_sec"`
-	Draining       bool           `json:"draining"`
-	Workers        int            `json:"workers"`
-	Queued         int            `json:"queued"`
-	PendingConfigs int64          `json:"pending_configs"`
-	MaxQueueDepth  int            `json:"max_queue_depth,omitempty"`
-	CoalescedTotal int64          `json:"coalesced_total"`
-	ShedTotal      int64          `json:"shed_total"`
-	Store          *storeHealth   `json:"store,omitempty"`
-	Cluster        *clusterHealth `json:"cluster,omitempty"`
+	Status         string                  `json:"status"`
+	UptimeSec      float64                 `json:"uptime_sec"`
+	Draining       bool                    `json:"draining"`
+	Workers        int                     `json:"workers"`
+	Queued         int                     `json:"queued"`
+	QueuePolicy    string                  `json:"queue_policy"`
+	PendingConfigs int64                   `json:"pending_configs"`
+	MaxQueueDepth  int                     `json:"max_queue_depth,omitempty"`
+	CoalescedTotal int64                   `json:"coalesced_total"`
+	ShedTotal      int64                   `json:"shed_total"`
+	PreemptedTotal int64                   `json:"preempted_total"`
+	Tenants        map[string]tenantHealth `json:"tenants,omitempty"`
+	Store          *storeHealth            `json:"store,omitempty"`
+	Cluster        *clusterHealth          `json:"cluster,omitempty"`
 	// Failpoints is the active fault schedule — present only while one is
 	// armed, so a chaos run is always distinguishable from production.
 	Failpoints string `json:"failpoints,omitempty"`
@@ -536,11 +594,30 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		UptimeSec:      time.Since(s.startTime).Seconds(),
 		Draining:       s.Draining(),
 		Workers:        s.workers,
-		Queued:         len(s.queue),
+		Queued:         s.sched.Len(),
+		QueuePolicy:    s.cfg.QueuePolicy,
 		PendingConfigs: s.pending.Load(),
 		MaxQueueDepth:  s.cfg.MaxQueueDepth,
 		CoalescedTotal: s.stats.Coalesced.Load(),
 		ShedTotal:      s.stats.JobsShed.Load(),
+		PreemptedTotal: s.stats.JobsPreempted.Load(),
+	}
+	counters := s.stats.TenantSnapshots()
+	for _, ts := range s.sched.Snapshot() {
+		if body.Tenants == nil {
+			body.Tenants = make(map[string]tenantHealth)
+		}
+		tc := counters[ts.Tenant]
+		body.Tenants[ts.Tenant] = tenantHealth{
+			Weight:         ts.Weight,
+			QueuedJobs:     ts.QueuedJobs,
+			OpenJobs:       ts.OpenJobs,
+			BacklogConfigs: ts.Backlog,
+			VirtualTime:    ts.VirtualTime,
+			Running:        tc.Running,
+			ShedTotal:      tc.Shed,
+			PreemptedTotal: tc.Preempted,
+		}
 	}
 	if st, ok := s.StoreStats(); ok {
 		body.Store = &storeHealth{
@@ -598,8 +675,22 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	fmt.Fprintf(w, "# HELP rescqd_cache_entries Result-cache entries resident.\n# TYPE rescqd_cache_entries gauge\nrescqd_cache_entries %d\n", entries)
 	fmt.Fprintf(w, "# HELP rescqd_cache_capacity Result-cache entry budget.\n# TYPE rescqd_cache_capacity gauge\nrescqd_cache_capacity %d\n", capacity)
-	fmt.Fprintf(w, "# HELP rescqd_queue_pending Jobs waiting in the queue.\n# TYPE rescqd_queue_pending gauge\nrescqd_queue_pending %d\n", len(s.queue))
+	fmt.Fprintf(w, "# HELP rescqd_queue_pending Jobs waiting in the queue.\n# TYPE rescqd_queue_pending gauge\nrescqd_queue_pending %d\n", s.sched.Len())
 	fmt.Fprintf(w, "# HELP rescqd_pending_configs Run configurations admitted but not yet finished (admission-control backlog).\n# TYPE rescqd_pending_configs gauge\nrescqd_pending_configs %d\n", s.pending.Load())
+	if snaps := s.sched.Snapshot(); len(snaps) > 0 {
+		fmt.Fprint(w, "# HELP rescqd_tenant_queued_jobs Jobs waiting in the scheduler, by tenant.\n# TYPE rescqd_tenant_queued_jobs gauge\n")
+		for _, ts := range snaps {
+			fmt.Fprintf(w, "rescqd_tenant_queued_jobs{tenant=%q} %d\n", ts.Tenant, ts.QueuedJobs)
+		}
+		fmt.Fprint(w, "# HELP rescqd_tenant_open_jobs Queued plus running jobs, by tenant.\n# TYPE rescqd_tenant_open_jobs gauge\n")
+		for _, ts := range snaps {
+			fmt.Fprintf(w, "rescqd_tenant_open_jobs{tenant=%q} %d\n", ts.Tenant, ts.OpenJobs)
+		}
+		fmt.Fprint(w, "# HELP rescqd_tenant_backlog_configs Admitted-but-unfinished configurations, by tenant.\n# TYPE rescqd_tenant_backlog_configs gauge\n")
+		for _, ts := range snaps {
+			fmt.Fprintf(w, "rescqd_tenant_backlog_configs{tenant=%q} %d\n", ts.Tenant, ts.Backlog)
+		}
+	}
 	if st, ok := s.StoreStats(); ok {
 		fmt.Fprintf(w, "# HELP rescqd_store_jobs Jobs in the durable store index.\n# TYPE rescqd_store_jobs gauge\nrescqd_store_jobs %d\n", st.Jobs)
 		fmt.Fprintf(w, "# HELP rescqd_store_records Records in the WAL file.\n# TYPE rescqd_store_records gauge\nrescqd_store_records %d\n", st.Records)

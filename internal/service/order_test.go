@@ -64,7 +64,7 @@ func TestJobsListOrderAfterReplay(t *testing.T) {
 
 	// The replay must also have advanced the id counter past the largest
 	// replayed id, so a fresh submission cannot collide.
-	j := s.newJob("run", []runSpec{{Benchmark: "gcm_n13"}})
+	j := s.newJob("run", "", []runSpec{{Benchmark: "gcm_n13"}})
 	if store.JobIDLess(j.ID, "job-1000000") || j.ID == "job-1000000" {
 		t.Fatalf("fresh job id %s does not follow job-1000000", j.ID)
 	}

@@ -87,6 +87,7 @@ import (
 	rescq "repro"
 	"repro/internal/config"
 	"repro/internal/metrics"
+	"repro/internal/schedq"
 	"repro/internal/sim"
 	"repro/internal/store"
 )
@@ -163,6 +164,10 @@ type Job struct {
 	ID      string
 	Kind    string // "run" or "sweep"
 	Created time.Time
+	// Tenant is the owning tenant for scheduling and accounting — never
+	// empty; untagged submissions get schedq.DefaultTenant. Immutable
+	// after construction.
+	Tenant string
 
 	specs []runSpec
 	// encSpecs caches each spec's wire encoding, filled lazily by the
@@ -228,11 +233,18 @@ var ErrDraining = errors.New("service: draining, not accepting jobs")
 // hint derived from the backlog and observed job latency.
 type OverloadError struct {
 	Pending    int64 // configurations admitted and not yet finished
-	Limit      int   // Daemon.MaxQueueDepth
+	Limit      int   // Daemon.MaxQueueDepth (or the tenant's quota)
 	RetryAfter time.Duration
+	// Tenant is set when a per-tenant quota (not the global backlog bound)
+	// shed the submission; Pending and RetryAfter are then the tenant's own.
+	Tenant string
 }
 
 func (e *OverloadError) Error() string {
+	if e.Tenant != "" {
+		return fmt.Sprintf("service: tenant %q over quota: %d configurations pending (limit %d), retry in %s",
+			e.Tenant, e.Pending, e.Limit, e.RetryAfter)
+	}
 	return fmt.Sprintf("service: overloaded: %d configurations pending (limit %d), retry in %s",
 		e.Pending, e.Limit, e.RetryAfter)
 }
@@ -258,9 +270,12 @@ type Server struct {
 	runner Runner
 	stats  *metrics.ServiceStats
 	cache  *resultCache // nil when caching is disabled
-	queue  chan *Job
-	store  *store.Store  // nil until AttachStore; durability layer
-	clust  *clusterState // nil in standalone mode; scale-out layer
+	// sched replaced the original buffered `chan *Job`: submission Pushes
+	// under the tenant's quota, workers Pop whichever tenant the policy
+	// picks, and running jobs poll Yield for preemption (see internal/schedq).
+	sched schedq.Scheduler
+	store *store.Store  // nil until AttachStore; durability layer
+	clust *clusterState // nil in standalone mode; scale-out layer
 
 	// pending counts run configurations admitted but not yet finished —
 	// the quantity Daemon.MaxQueueDepth bounds (admission control).
@@ -310,19 +325,26 @@ func New(cfg config.Daemon, runner Runner) *Server {
 		runner = EngineRunner{}
 	}
 	ctx, stop := context.WithCancel(context.Background())
+	sched, err := schedq.New(cfg.QueuePolicy, cfg.Tenants.SchedConfig(cfg.QueueDepth))
+	if err != nil {
+		// Validate gates every config that reaches a running daemon; an
+		// unknown policy here (tests constructing configs by hand) falls
+		// back to the default rather than panicking.
+		sched, _ = schedq.New("", cfg.Tenants.SchedConfig(cfg.QueueDepth))
+	}
 	s := &Server{
 		cfg:        cfg,
 		runner:     runner,
 		stats:      metrics.NewServiceStats(),
-		queue:      make(chan *Job, cfg.QueueDepth),
+		sched:      sched,
 		poolDone:   make(chan struct{}),
 		probeEvery: 2 * time.Second,
 		baseCtx:    ctx,
 		baseStop:   stop,
 		startTime:  time.Now(),
 		// Accepting from construction, not from Start: AttachStore
-		// re-enqueues interrupted jobs onto the (buffered) queue before
-		// the worker pool spins up.
+		// re-enqueues interrupted jobs into the scheduler before the
+		// worker pool spins up.
 		accepting: true,
 	}
 	if cfg.CacheEntries > 0 {
@@ -386,11 +408,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		s.closeStore()
 		return nil
 	}
-	// Close the queue under the same lock submit holds for its send (see
-	// submit): once we release it no sender can race the close.
+	// Close the scheduler under the same lock submit holds for its push
+	// (see submit): once we release it no sender can race the close.
+	// Queued jobs drain — Pop keeps returning them until empty.
 	if s.accepting {
 		s.accepting = false
-		close(s.queue)
+		s.sched.Close()
 	}
 	s.mu.Unlock()
 	s.draining.Store(true)
@@ -447,12 +470,16 @@ func (s *Server) Jobs() []*Job {
 // buildJob allocates a job over the given validated specs without
 // registering it, so callers can finish populating it (resume prefixes,
 // provenance) before it becomes visible to listings.
-func (s *Server) buildJob(kind string, specs []runSpec) *Job {
+func (s *Server) buildJob(kind, tenant string, specs []runSpec) *Job {
+	if tenant == "" {
+		tenant = schedq.DefaultTenant
+	}
 	ctx, cancel := context.WithCancel(s.baseCtx)
 	return &Job{
 		ID:      fmt.Sprintf("job-%06d", s.nextID.Add(1)),
 		Kind:    kind,
 		Created: time.Now(),
+		Tenant:  tenant,
 		specs:   specs,
 		ctx:     ctx,
 		cancel:  cancel,
@@ -463,21 +490,22 @@ func (s *Server) buildJob(kind string, specs []runSpec) *Job {
 }
 
 // newJob allocates and registers a job over the given validated specs.
-func (s *Server) newJob(kind string, specs []runSpec) *Job {
-	j := s.buildJob(kind, specs)
+func (s *Server) newJob(kind, tenant string, specs []runSpec) *Job {
+	j := s.buildJob(kind, tenant, specs)
 	s.registerJob(j)
 	return j
 }
 
 // submit enqueues a job, rejecting when draining, shedding when admission
-// control's configuration backlog is exhausted, and rejecting when the job
-// queue itself is full. The accepting check, the admission check and the
-// queue send happen under one lock so a concurrent Shutdown (which closes
-// the queue) or submit can never interleave between them.
+// control's configuration backlog (global or the tenant's own quota) is
+// exhausted, and rejecting when the scheduler's capacity is full. The
+// accepting check, the admission checks and the scheduler push happen
+// under one lock so a concurrent Shutdown (which closes the scheduler) or
+// submit can never interleave between them.
 func (s *Server) submit(j *Job) error {
 	// Resumed jobs re-enter with a completed prefix; only the unfinished
 	// configurations count against the backlog. No worker owns the job
-	// before the queue send below, so the unlocked read is safe.
+	// before the scheduler push below, so the unlocked read is safe.
 	remaining := int64(len(j.specs) - len(j.results))
 	s.mu.Lock()
 	if !s.accepting {
@@ -492,7 +520,12 @@ func (s *Server) submit(j *Job) error {
 		if cur := s.pending.Load(); cur+remaining > int64(limit) {
 			s.mu.Unlock()
 			s.stats.JobsShed.Add(1)
-			err := &OverloadError{Pending: cur, Limit: limit, RetryAfter: s.retryAfter(cur)}
+			s.stats.Tenant(j.Tenant).Shed.Add(1)
+			// Retry-After from the shedding tenant's own backlog: under the
+			// global bound a tenant with no queued work of its own should
+			// not be told to wait out the whale's entire backlog.
+			own := s.sched.Backlog(j.Tenant)
+			err := &OverloadError{Pending: cur, Limit: limit, RetryAfter: s.retryAfter(own)}
 			s.failFast(j, err)
 			return err
 		}
@@ -505,18 +538,39 @@ func (s *Server) submit(j *Job) error {
 	// inherited-result loop no-ops here), and the store never takes
 	// server locks.
 	s.persistJob(j)
-	select {
-	case s.queue <- j:
+	push := s.sched.Push
+	if j.fromStore {
+		push = s.sched.PushExempt // quota-exempt, like the global bypass above
+	}
+	err := push(j.Tenant, remaining, j)
+	if err == nil {
 		s.pending.Add(remaining)
 		s.mu.Unlock()
 		s.stats.JobsQueued.Add(1)
+		s.stats.Tenant(j.Tenant).Queued.Add(1)
 		return nil
-	default:
-		s.mu.Unlock()
-		s.stats.JobsRejected.Add(1)
-		s.failFast(j, ErrQueueFull)
-		return ErrQueueFull
 	}
+	s.mu.Unlock()
+	var qe *schedq.QuotaError
+	switch {
+	case errors.Is(err, schedq.ErrClosed):
+		err = ErrDraining
+		s.stats.JobsRejected.Add(1)
+	case errors.As(err, &qe):
+		s.stats.JobsShed.Add(1)
+		s.stats.Tenant(j.Tenant).Shed.Add(1)
+		err = &OverloadError{
+			Tenant:     j.Tenant,
+			Pending:    qe.Backlog,
+			Limit:      int(qe.Limit),
+			RetryAfter: s.retryAfter(qe.Backlog),
+		}
+	default: // schedq.ErrFull
+		err = ErrQueueFull
+		s.stats.JobsRejected.Add(1)
+	}
+	s.failFast(j, err)
+	return err
 }
 
 // retryAfter estimates when the backlog will have drained enough to admit
@@ -594,10 +648,16 @@ func (s *Server) retireJob(id string) {
 	}
 }
 
-// worker is one pool slot: it drains the queue until Shutdown closes it.
+// worker is one pool slot: it drains the scheduler until Shutdown closes
+// it (Pop keeps the channel-range contract — it blocks while empty and
+// reports ok=false only once closed AND drained).
 func (s *Server) worker() {
-	for j := range s.queue {
-		s.execute(j)
+	for {
+		item, ok := s.sched.Pop()
+		if !ok {
+			return
+		}
+		s.execute(item.(*Job))
 	}
 }
 
@@ -606,24 +666,48 @@ func (s *Server) worker() {
 // replayed from the WAL or inherited via /resume) re-enter at the first
 // unfinished configuration.
 func (s *Server) execute(j *Job) {
-	start := time.Now()
 	j.mu.Lock()
 	j.state = JobRunning
-	j.started = start
+	if j.started.IsZero() {
+		// First pickup; a preempted continuation keeps its original start so
+		// the observed latency spans the whole job, waits included.
+		j.started = time.Now()
+	}
+	start := j.started
 	startIdx := len(j.results)
 	j.mu.Unlock()
 	s.stats.JobsRunning.Add(1)
 	defer s.stats.JobsRunning.Add(-1)
+	tc := s.stats.Tenant(j.Tenant)
+	tc.Running.Add(1)
+	defer tc.Running.Add(-1)
 
 	var cancelled bool
-	if s.dispatchable() {
-		// Coordinator mode with live workers: shard the unfinished
-		// configurations into batches dispatched across the cluster. The
-		// sequencer inside keeps results, WAL records and streamed events
-		// in exactly the order this loop would produce them.
-		cancelled = s.executeSharded(j, startIdx)
-	} else {
-		cancelled = s.executeLocal(j, startIdx)
+	for {
+		var preempted bool
+		if s.dispatchable() {
+			// Coordinator mode with live workers: shard the unfinished
+			// configurations into batches dispatched across the cluster. The
+			// sequencer inside keeps results, WAL records and streamed events
+			// in exactly the order this loop would produce them.
+			cancelled, preempted = s.executeSharded(j, startIdx)
+		} else {
+			cancelled, preempted = s.executeLocal(j, startIdx)
+		}
+		if !preempted {
+			break
+		}
+		if s.requeuePreempted(j) {
+			// The continuation is queued; another worker slot (possibly this
+			// one) owns it from here. Touch nothing after the handoff.
+			return
+		}
+		// The scheduler refused the requeue (closing); keep executing — the
+		// drain contract says every accepted job finishes.
+		j.mu.Lock()
+		j.state = JobRunning
+		startIdx = len(j.results)
+		j.mu.Unlock()
 	}
 
 	j.mu.Lock()
@@ -654,6 +738,9 @@ func (s *Server) execute(j *Job) {
 	state, err := j.state, j.err
 	j.mu.Unlock()
 	s.pending.Add(-int64(unfinished)) // configurations the break left behind
+	s.sched.Abandon(j.Tenant, int64(unfinished))
+	s.sched.JobDone(j.Tenant)
+	tc.Done.Add(1)
 	s.persistDone(j, state, err)
 	close(j.events)
 	close(j.doneCh)
@@ -664,20 +751,53 @@ func (s *Server) execute(j *Job) {
 	s.stats.ObserveLatency(time.Since(start))
 }
 
+// requeuePreempted hands a checkpointed job back to the scheduler as a
+// resumable continuation: its completed prefix is already appended (and in
+// the WAL), so the next pickup re-enters at the first unfinished
+// configuration — the same machinery WAL replay and /resume use. Reports
+// whether the handoff succeeded; on success the caller must not touch j.
+func (s *Server) requeuePreempted(j *Job) bool {
+	j.mu.Lock()
+	j.state = JobQueued
+	j.mu.Unlock()
+	if err := s.sched.Requeue(j.Tenant, j); err != nil {
+		return false // scheduler closing; the caller keeps executing
+	}
+	s.stats.JobsPreempted.Add(1)
+	s.stats.Tenant(j.Tenant).Preempted.Add(1)
+	return true
+}
+
+// shouldPreempt reports whether a running job should checkpoint at its
+// next configuration boundary and hand the worker slot to a waiting
+// better-entitled tenant. Never during drain: Shutdown wants jobs finished,
+// not reshuffled.
+func (s *Server) shouldPreempt(j *Job) bool {
+	return !s.draining.Load() && s.sched.Yield(j.Tenant)
+}
+
 // executeLocal is the standalone execution path: every unfinished
 // configuration runs in submission order on this worker slot. Returns
-// whether the job was cancelled.
-func (s *Server) executeLocal(j *Job, startIdx int) (cancelled bool) {
+// whether the job was cancelled, and whether it was preempted at a
+// configuration boundary (the completed prefix is checkpointed; the caller
+// requeues the job as a resumable continuation).
+func (s *Server) executeLocal(j *Job, startIdx int) (cancelled, preempted bool) {
 	for i := startIdx; i < len(j.specs); i++ {
 		if j.ctx.Err() != nil {
-			return true
+			return true, false
+		}
+		// At least one configuration per pickup (i > startIdx): a quantum
+		// always makes progress, so two preempting tenants cannot livelock
+		// each other into requeue loops.
+		if i > startIdx && s.shouldPreempt(j) {
+			return false, true
 		}
 		res := s.runOne(j.ctx, j.specs[i])
 		res.Index = i
 		if res.Error != "" && j.ctx.Err() != nil {
 			// The configuration was aborted mid-run by cancellation, not
 			// by a real engine failure: discard the partial result.
-			return true
+			return true, false
 		}
 		j.mu.Lock()
 		j.results = append(j.results, res)
@@ -685,8 +805,9 @@ func (s *Server) executeLocal(j *Job, startIdx int) (cancelled bool) {
 		s.persistResult(j, j.specs[i], res)
 		j.events <- res // buffered to len(specs): never blocks
 		s.pending.Add(-1)
+		s.sched.Completed(j.Tenant, 1)
 	}
-	return false
+	return false, false
 }
 
 // specKey returns the configuration's cache/store identity: the canonical

@@ -572,7 +572,7 @@ func TestFinishedJobEviction(t *testing.T) {
 	s := New(config.Daemon{}, &countingRunner{})
 	var first *Job
 	for i := 0; i < maxFinishedJobs+100; i++ {
-		j := s.newJob("run", []runSpec{{Benchmark: "gcm_n13", Opts: rescq.Options{Seed: int64(i + 1)}}})
+		j := s.newJob("run", "", []runSpec{{Benchmark: "gcm_n13", Opts: rescq.Options{Seed: int64(i + 1)}}})
 		if first == nil {
 			first = j
 		}
@@ -604,7 +604,7 @@ func TestSubmitShutdownRace(t *testing.T) {
 				defer wg.Done()
 				<-start
 				for i := 0; i < 10; i++ {
-					j := s.newJob("run", []runSpec{{Benchmark: "gcm_n13"}})
+					j := s.newJob("run", "", []runSpec{{Benchmark: "gcm_n13"}})
 					if err := s.submit(j); err != nil {
 						return // draining: expected
 					}

@@ -37,6 +37,9 @@ type SweepRequest struct {
 	// the request blocks and returns the whole job.
 	Async  bool   `json:"async,omitempty"`
 	Stream string `json:"stream,omitempty"`
+	// Tenant names the submitting tenant for scheduling and quotas; it
+	// overrides the X-Rescq-Tenant header. Empty means the default tenant.
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // Streaming modes for SweepRequest.Stream.

@@ -103,6 +103,13 @@ func binaryBody(v any) (kind byte, body []byte, err error) {
 		body = appendBlob(body, []byte(r.Kind))
 		body = appendBlob(body, created)
 		body = appendBlob(body, r.Specs)
+		// The tenant rides as an optional trailing blob: omitted when empty,
+		// so tenantless records stay byte-identical to what version-1 logs
+		// have always held, and old readers' "no trailing bytes" check is
+		// the only thing a new field costs.
+		if r.Tenant != "" {
+			body = appendBlob(body, []byte(r.Tenant))
+		}
 		return binKindJob, body, nil
 	case ResultRecord:
 		if r.Index < 0 {
@@ -238,14 +245,29 @@ func decodeBinaryBody(kind byte, body []byte) (any, error) {
 	}
 	switch kind {
 	case binKindJob:
-		if err := fields(4, -1); err != nil {
-			return nil, err
+		// Hand-rolled instead of fields(): the tenant is an optional fifth
+		// blob, so "body consumed exactly" is checked after deciding whether
+		// one is present. Records written before tenancy end at blob four.
+		var err error
+		for i := 0; i < 4; i++ {
+			if f[i], body, err = readBlob(body); err != nil {
+				return nil, err
+			}
+		}
+		var tenant []byte
+		if len(body) > 0 {
+			if tenant, body, err = readBlob(body); err != nil {
+				return nil, err
+			}
+		}
+		if len(body) != 0 {
+			return nil, errCorruptRecord
 		}
 		var created time.Time
 		if err := created.UnmarshalBinary(f[2]); err != nil {
 			return nil, errCorruptRecord
 		}
-		rec := JobRecord{Type: recJob, ID: string(f[0]), Kind: string(f[1]), Created: created}
+		rec := JobRecord{Type: recJob, ID: string(f[0]), Kind: string(f[1]), Created: created, Tenant: string(tenant)}
 		if len(f[3]) > 0 {
 			rec.Specs = json.RawMessage(f[3])
 		}

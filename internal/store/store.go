@@ -99,13 +99,17 @@ const (
 )
 
 // JobRecord persists one submitted job: its identity and its fully
-// validated run specifications (opaque to the store).
+// validated run specifications (opaque to the store). Tenant is the
+// owning tenant for scheduler accounting; "" — every record written
+// before tenancy existed, and all default-tenant traffic since — replays
+// as the default tenant, so old logs need no migration.
 type JobRecord struct {
 	Type    string          `json:"type"` // filled by the store
 	ID      string          `json:"id"`
 	Kind    string          `json:"kind"`
 	Created time.Time       `json:"created"`
 	Specs   json.RawMessage `json:"specs"`
+	Tenant  string          `json:"tenant,omitempty"`
 }
 
 // ResultRecord persists one completed run configuration of a job. Key is
