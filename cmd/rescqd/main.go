@@ -84,6 +84,9 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		maxDepth = fs.Int("max-queue-depth", 0, "admission-control bound on unfinished run configurations; beyond it submissions get 429 (0 = default 4096, negative disables)")
 		walCodec = fs.String("wal-codec", "", "WAL record format for a fresh store: binary (default) or json (debug; existing logs replay either way)")
 
+		analyticsOn  = fs.Bool("analytics", true, "maintain sweep analytics aggregates and serve GET /v1/analytics/* (false also keeps the WAL free of analytics state records)")
+		analyticsCap = fs.Int("analytics-max-groups", 0, "cardinality cap on analytics aggregate cells, one per distinct sweep-axis tuple (0 = default 8192)")
+
 		queuePolicy   = fs.String("queue-policy", "", "job scheduling policy: wfq (default; weighted fair queueing across tenants) or fifo (global arrival order)")
 		tenantWeights = fs.String("tenant-weights", "", "per-tenant WFQ weights, e.g. \"alice=3,bob=1\" (\"default\" sets the weight for unlisted tenants)")
 		tenantQuota   = fs.String("tenant-quota", "", "per-tenant quotas name=maxQueuedConfigs[:maxInflightJobs], e.g. \"alice=1000:4,bob=200\" (0 = unlimited; \"default\" applies to unlisted tenants)")
@@ -119,6 +122,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		Addr: *addr, Workers: *workers, QueueDepth: *queue,
 		CacheEntries: *cache, DrainTimeoutSec: *drain, Layout: *layout,
 		StoreDir: *storeDir, MaxQueueDepth: *maxDepth, WALCodec: *walCodec,
+		Analytics: analyticsOn, AnalyticsMaxGroups: *analyticsCap,
 		QueuePolicy: *queuePolicy, Tenants: tenants,
 		Cluster: config.Cluster{
 			Mode:                *mode,

@@ -1,0 +1,75 @@
+package analytics
+
+import (
+	"strconv"
+	"sync"
+
+	"repro/internal/lattice"
+	"repro/internal/qbench"
+)
+
+// occupancy is the layout-shape half of a footprint: data and ancilla
+// tile counts for one (layout, params, qubit count) triple.
+type occupancy struct {
+	data int
+	anc  int
+	ok   bool
+}
+
+// gridMemo caches lattice builds keyed by layout + canonical params +
+// qubit count. Sweeps reuse a handful of layouts across thousands of
+// configurations, so cells almost never pay for a build.
+var gridMemo sync.Map // string -> occupancy
+
+func gridOccupancy(layoutName, paramsKey string, params lattice.Params, n int) occupancy {
+	memoKey := layoutName + "\x1f" + paramsKey + "\x1f" + strconv.Itoa(n)
+	if v, ok := gridMemo.Load(memoKey); ok {
+		return v.(occupancy)
+	}
+	occ := occupancy{}
+	if n > 0 {
+		if g, err := lattice.Build(layoutName, n, params); err == nil {
+			occ = occupancy{data: g.NumQubits(), anc: g.NumAncilla(), ok: true}
+		}
+	}
+	gridMemo.Store(memoKey, occ)
+	return occ
+}
+
+// areaFor derives a configuration's lattice footprint: the occupied tile
+// count of the layout built for the benchmark's qubit count, with the
+// configuration's ancilla-compression target applied, and the physical
+// qubit estimate at the configured code distance (~2d^2 per tile, the
+// rotated-surface-code patch plus routing share). Compression uses
+// Grid.Compress's nominal removal target — the count it aims for before
+// connectivity constraints can stop it early — so the footprint is a
+// deterministic function of the axis tuple alone. Unknown benchmarks
+// (text-submitted circuits, experiment labels) report a zero footprint
+// and are excluded from area aggregates and Pareto frontiers.
+func areaFor(a Axes, params lattice.Params) footprint {
+	spec, ok := qbench.ByName(a.Benchmark)
+	if !ok || spec.Qubits <= 0 {
+		return footprint{}
+	}
+	occ := gridOccupancy(a.Layout, a.LayoutParams, params, spec.Qubits)
+	if !occ.ok {
+		return footprint{}
+	}
+	anc := occ.anc
+	if a.Compression > 0 {
+		fr := a.Compression
+		if fr > 1 {
+			fr = 1
+		}
+		anc -= int(fr*float64(anc-occ.data) + 0.5)
+		if anc < 0 {
+			anc = 0
+		}
+	}
+	tiles := int64(occ.data + anc)
+	d := int64(a.Distance)
+	if d < 1 {
+		d = 1
+	}
+	return footprint{Tiles: tiles, Phys: tiles * 2 * d * d}
+}

@@ -1,0 +1,95 @@
+package analytics
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchSamples builds `cells` distinct configurations spread over real
+// benchmarks, schedulers, layouts, compressions, and seeds — the axis
+// shape of a design-space sweep.
+func benchSamples(cells int) []*Sample {
+	benches := []string{"gcm_n13", "qft_n18", "dnn_n16", "vqe_n13"}
+	scheds := []string{"rescq", "greedy", "autobraid"}
+	layouts := []string{"star", "linear"}
+	compressions := []float64{0, 0.25, 0.5, 0.75}
+	out := make([]*Sample, 0, cells)
+	for i := 0; len(out) < cells; i++ {
+		sm := mkSample(
+			"default",
+			benches[i%len(benches)],
+			scheds[(i/4)%len(scheds)],
+			layouts[(i/12)%len(layouts)],
+			7,
+			compressions[(i/24)%len(compressions)],
+			int64(1+i/96), // seed axis fans out the remaining cardinality
+			1000+i, 1100+i, 1200+i,
+		)
+		out = append(out, sm)
+	}
+	return out
+}
+
+// benchStore folds `results` results round-robin over `cells` distinct
+// configurations, in jobs of 1000 results each.
+func benchStore(cells, results int) *Store {
+	st := New(0)
+	samples := benchSamples(cells)
+	for i := 0; i < results; i++ {
+		st.Ingest(fmt.Sprintf("job-%d", i/1000), i%1000, samples[i%len(samples)])
+	}
+	return st
+}
+
+// BenchmarkAnalyticsIngest pins the per-result update cost: one watermark
+// check plus integer accumulation into an existing cell (the steady state
+// of a long sweep). Gated in the bench-compare job.
+func BenchmarkAnalyticsIngest(b *testing.B) {
+	st := New(0)
+	samples := benchSamples(1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Ingest("bench", i, samples[i%len(samples)])
+	}
+}
+
+// BenchmarkAnalyticsQueryWarm pins the steady-state query cost over a
+// 100k-result aggregate: a two-axis group-by plus a cached-frontier
+// Pareto read. The cost must be O(cells), independent of the 100k result
+// count — this is the "never rescan the log" acceptance benchmark.
+// Gated in the bench-compare job.
+func BenchmarkAnalyticsQueryWarm(b *testing.B) {
+	st := benchStore(1024, 100_000)
+	if _, err := st.Pareto("gcm_n13", nil); err != nil { // warm the frontier cache
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.GroupBy([]string{"scheduler", "layout"}, nil); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := st.Pareto("gcm_n13", nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAnalyticsQueryCold measures the first query after an ingest
+// dirtied a benchmark's slice: the O(n log n) frontier rebuild over that
+// benchmark's cells. Informational (recorded, not gated): the rebuild is
+// microseconds and rides bench-smoke.
+func BenchmarkAnalyticsQueryCold(b *testing.B) {
+	st := benchStore(1024, 100_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.mu.Lock()
+		st.byBench["gcm_n13"].dirty = true
+		st.mu.Unlock()
+		if _, err := st.Pareto("gcm_n13", nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

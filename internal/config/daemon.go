@@ -68,6 +68,18 @@ type Daemon struct {
 	// FaultSeed seeds the schedule's probabilistic triggers (default 1), so
 	// a chaos run reproduces exactly from its printed seed.
 	FaultSeed int64 `json:"fault_seed,omitempty"`
+	// Analytics toggles the sweep-analytics aggregate store behind GET
+	// /v1/analytics/* (see internal/analytics): maintained incrementally
+	// from the persisted result stream, snapshotted into the WAL, rebuilt
+	// at boot. Unset/true enables; false disables — which also keeps the
+	// WAL free of analytics state records, the knob to reach for when a
+	// log must stay readable by pre-analytics daemon builds.
+	Analytics *bool `json:"analytics,omitempty"`
+	// AnalyticsMaxGroups caps the number of distinct aggregate cells (one
+	// per complete sweep-axis tuple); results for configurations beyond
+	// the cap are counted as dropped, not aggregated. 0 means the default
+	// 8192 (analytics.DefaultMaxGroups).
+	AnalyticsMaxGroups int `json:"analytics_max_groups,omitempty"`
 	// QueuePolicy selects the job scheduler (see internal/schedq): "wfq"
 	// (the default — weighted fair queueing across tenants) or "fifo"
 	// (global arrival order, the pre-tenant behavior).
@@ -111,6 +123,10 @@ func (d Daemon) DrainTimeout() time.Duration {
 // (CacheEntries < 0).
 func (d Daemon) CacheDisabled() bool { return d.CacheEntries < 0 }
 
+// AnalyticsEnabled reports whether the sweep-analytics store is on
+// (unset means on).
+func (d Daemon) AnalyticsEnabled() bool { return d.Analytics == nil || *d.Analytics }
+
 // Validate reports daemon configuration errors.
 func (d Daemon) Validate() error {
 	if d.Workers < 0 {
@@ -135,6 +151,9 @@ func (d Daemon) Validate() error {
 		if err := fault.Validate(d.Failpoints); err != nil {
 			return fmt.Errorf("config: failpoints: %w", err)
 		}
+	}
+	if d.AnalyticsMaxGroups < 0 {
+		return fmt.Errorf("config: analytics_max_groups must be non-negative")
 	}
 	if !schedq.Known(d.QueuePolicy) {
 		return fmt.Errorf("config: unknown queue_policy %q (registered: %s)",

@@ -42,6 +42,25 @@ func TestDaemonCacheDisabled(t *testing.T) {
 	}
 }
 
+func TestDaemonAnalytics(t *testing.T) {
+	// Unset means on; an explicit false survives both defaults and a
+	// config-file round trip.
+	if !(Daemon{}).WithDefaults().AnalyticsEnabled() {
+		t.Fatal("analytics should default to enabled")
+	}
+	d, err := ReadDaemon(strings.NewReader(`{"analytics":false,"analytics_max_groups":128}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.AnalyticsEnabled() || d.AnalyticsMaxGroups != 128 {
+		t.Fatalf("analytics config lost in parsing: enabled=%t cap=%d", d.AnalyticsEnabled(), d.AnalyticsMaxGroups)
+	}
+	on := true
+	if !(Daemon{Analytics: &on}).AnalyticsEnabled() {
+		t.Fatal("explicit true should enable analytics")
+	}
+}
+
 func TestDaemonValidate(t *testing.T) {
 	cases := []struct {
 		name string
@@ -51,6 +70,7 @@ func TestDaemonValidate(t *testing.T) {
 		{"negative workers", Daemon{Workers: -1, QueueDepth: 1}, "workers"},
 		{"zero queue", Daemon{QueueDepth: 0}, "queue_depth"},
 		{"negative drain", Daemon{QueueDepth: 1, DrainTimeoutSec: -1}, "drain_timeout_sec"},
+		{"negative analytics cap", Daemon{QueueDepth: 1, AnalyticsMaxGroups: -1}, "analytics_max_groups"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -1,0 +1,14 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+)
+
+// PromLine writes one complete metric in the Prometheus text exposition
+// format — the HELP and TYPE comments followed by the sample line — for
+// handlers that render ad-hoc gauges and counters outside a Snapshot
+// (kind is "gauge" or "counter").
+func PromLine(w io.Writer, kind, name, help string, v int64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n", name, help, name, kind, name, v)
+}

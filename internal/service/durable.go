@@ -53,6 +53,19 @@ func (s *Server) AttachStore(dir string) (ReplayStats, error) {
 	}
 	s.store = st
 
+	// Seed the analytics aggregates from the last durable snapshot before
+	// replaying the log: the watermarks inside the snapshot make the
+	// replay loop below re-fold only the WAL suffix the snapshot has not
+	// seen. A corrupt snapshot is counted and discarded — the full replay
+	// rebuilds the identical state from the records.
+	if s.an != nil {
+		if blob, ok := st.State(analyticsStateName); ok {
+			if err := s.an.Restore(blob); err != nil {
+				s.stats.StoreErrors.Add(1)
+			}
+		}
+	}
+
 	var rs ReplayStats
 	maxID := int64(0)
 	for _, rj := range st.Replayed() {
@@ -71,6 +84,7 @@ func (s *Server) AttachStore(dir string) (ReplayStats, error) {
 			}
 			rs.Results++
 			s.stats.ReplayedResults.Add(1)
+			s.analyticsFold(rj.Job.ID, rj.Job.Tenant, res)
 			if s.cache == nil || rr.Key == "" || res.Error != "" {
 				continue
 			}
@@ -105,6 +119,11 @@ func (s *Server) AttachStore(dir string) (ReplayStats, error) {
 	for cur := s.nextID.Load(); cur < maxID && !s.nextID.CompareAndSwap(cur, maxID); cur = s.nextID.Load() {
 	}
 	s.replay = rs
+	// One boot checkpoint: whatever the replay loop folded beyond the
+	// restored snapshot becomes durable now, so repeated crash loops do
+	// not repeatedly re-fold the same suffix. No-op when replay added
+	// nothing (an idle restart leaves the WAL byte-stable).
+	s.flushAnalytics()
 	// The probe runs for the store's whole lifetime (until baseStop): it is
 	// idle while durable and becomes the recovery path once a WAL failure
 	// flips the daemon into lossy mode.
@@ -247,9 +266,26 @@ func (s *Server) resumeJob(j *Job) *Job {
 }
 
 // persistJob checkpoints a newly accepted job. Jobs replayed from the WAL
-// are already on disk (and AppendJob would no-op on them anyway).
+// are already on disk (and AppendJob would no-op on them anyway — their
+// results were folded into analytics by the replay loop too).
 func (s *Server) persistJob(j *Job) {
-	if s.store == nil || j.fromStore || s.skipPersist() {
+	if j.fromStore {
+		return
+	}
+	if s.store == nil {
+		// Storeless daemons skip the WAL but analytics still needs the
+		// inherited prefix of a /resume continuation under the NEW job id
+		// (watermarks are per-job, and the continuation's live results
+		// start above the prefix). Fresh jobs have no results yet.
+		j.mu.Lock()
+		inherited := append([]ConfigResult(nil), j.results...)
+		j.mu.Unlock()
+		for _, res := range inherited {
+			s.analyticsIngest(j.ID, j.Tenant, res)
+		}
+		return
+	}
+	if s.skipPersist() {
 		return
 	}
 	specs, err := json.Marshal(j.specs)
@@ -275,19 +311,23 @@ func (s *Server) persistJob(j *Job) {
 	inherited := append([]ConfigResult(nil), j.results...)
 	j.mu.Unlock()
 	for i := range inherited {
-		s.persistResultLocked(j.ID, j.specs[i], inherited[i])
+		s.persistResultLocked(j.ID, j.Tenant, j.specs[i], inherited[i])
 	}
 }
 
-// persistResult checkpoints one completed configuration.
+// persistResult checkpoints one completed configuration. With a WAL
+// attached, analytics mirrors exactly the records the WAL accepted (so a
+// replay reconstructs the same aggregates); without one, every completed
+// result feeds analytics directly.
 func (s *Server) persistResult(j *Job, spec runSpec, res ConfigResult) {
 	if s.store == nil {
+		s.analyticsIngest(j.ID, j.Tenant, res)
 		return
 	}
-	s.persistResultLocked(j.ID, spec, res)
+	s.persistResultLocked(j.ID, j.Tenant, spec, res)
 }
 
-func (s *Server) persistResultLocked(jobID string, spec runSpec, res ConfigResult) {
+func (s *Server) persistResultLocked(jobID, tenant string, spec runSpec, res ConfigResult) {
 	if s.skipPersist() {
 		return
 	}
@@ -307,7 +347,12 @@ func (s *Server) persistResultLocked(jobID string, spec runSpec, res ConfigResul
 		JobID: jobID, Index: res.Index, Key: specKey(spec), Result: payload,
 	}); err != nil {
 		s.persistFailed()
+		return
 	}
+	// Fold what the WAL just saw (duplicate appends are dropped by the
+	// store AND rejected by the analytics watermark, so the /resume
+	// re-checkpoint path stays idempotent end to end).
+	s.analyticsIngest(jobID, tenant, res)
 }
 
 // persistDone checkpoints a job's terminal state.
@@ -330,6 +375,9 @@ func (s *Server) closeStore() {
 	if s.store == nil {
 		return
 	}
+	// The final analytics snapshot rides the shutdown compaction, so the
+	// next boot restores instead of re-folding the whole retained log.
+	s.flushAnalytics()
 	if err := s.store.Close(); err != nil {
 		s.stats.StoreErrors.Add(1)
 	}

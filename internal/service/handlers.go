@@ -10,9 +10,11 @@ import (
 	"time"
 
 	rescq "repro"
+	"repro/internal/analytics"
 	"repro/internal/cluster"
 	"repro/internal/config"
 	"repro/internal/fault"
+	"repro/internal/metrics"
 	"repro/internal/schedq"
 	"repro/internal/store"
 )
@@ -128,6 +130,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/jobs/{id}/resume", s.handleResumeJob)
 	mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
 	mux.HandleFunc("GET /v1/capabilities", s.handleCapabilities)
+	mux.HandleFunc("GET /v1/analytics/groupby", s.handleAnalyticsGroupBy)
+	mux.HandleFunc("GET /v1/analytics/pareto", s.handleAnalyticsPareto)
+	mux.HandleFunc("GET /v1/analytics/sensitivity", s.handleAnalyticsSensitivity)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	if s.clust != nil {
@@ -483,9 +488,15 @@ type Capabilities struct {
 	Schedulers  []string              `json:"schedulers"`
 	Layouts     []rescq.LayoutInfo    `json:"layouts"`
 	Experiments []string              `json:"experiments"`
+	// QueuePolicies lists the registered job-queue scheduling policies
+	// (see internal/schedq and the queue_policy config field).
+	QueuePolicies []string `json:"queue_policies"`
 	// DefaultLayout is the daemon's configured default for requests that
 	// do not name a layout ("star" unless overridden).
 	DefaultLayout string `json:"default_layout"`
+	// Analytics lists the mounted sweep-analytics endpoints; omitted when
+	// the daemon runs with analytics disabled.
+	Analytics []string `json:"analytics,omitempty"`
 }
 
 func (s *Server) handleCapabilities(w http.ResponseWriter, r *http.Request) {
@@ -493,13 +504,18 @@ func (s *Server) handleCapabilities(w http.ResponseWriter, r *http.Request) {
 	if def == "" {
 		def = rescq.DefaultLayout
 	}
-	writeJSON(w, http.StatusOK, Capabilities{
+	caps := Capabilities{
 		Benchmarks:    rescq.Benchmarks(),
 		Schedulers:    rescq.Schedulers(),
 		Layouts:       rescq.LayoutCatalog(),
 		Experiments:   append([]string(nil), rescq.ExperimentIDs...),
+		QueuePolicies: schedq.Names(),
 		DefaultLayout: def,
-	})
+	}
+	if s.an != nil {
+		caps.Analytics = analyticsEndpoints()
+	}
+	writeJSON(w, http.StatusOK, caps)
 }
 
 // storeHealth is the /healthz durability section (present only when a
@@ -583,6 +599,10 @@ type healthBody struct {
 	Tenants        map[string]tenantHealth `json:"tenants,omitempty"`
 	Store          *storeHealth            `json:"store,omitempty"`
 	Cluster        *clusterHealth          `json:"cluster,omitempty"`
+	// Analytics is the aggregate store's health (cardinality against its
+	// cap, ingest lag since the last durable snapshot); omitted when
+	// analytics is disabled.
+	Analytics *analytics.Stats `json:"analytics,omitempty"`
 	// Failpoints is the active fault schedule — present only while one is
 	// armed, so a chaos run is always distinguishable from production.
 	Failpoints string `json:"failpoints,omitempty"`
@@ -632,6 +652,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			ReplayDropped:   s.ReplayInfo().Dropped,
 			LossyWrites:     s.stats.LossyWrites.Load(),
 		}
+	}
+	if s.an != nil {
+		as := s.an.Stats()
+		body.Analytics = &as
 	}
 	if spec := fault.Active(); spec != "" {
 		body.Failpoints = spec
@@ -708,6 +732,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		}
 		fmt.Fprintf(w, "# HELP rescqd_store_durable Whether the WAL is taking writes (0 while serving in lossy mode).\n# TYPE rescqd_store_durable gauge\nrescqd_store_durable %d\n", durable)
 		fmt.Fprintf(w, "# HELP rescqd_replay_dropped Interrupted jobs left resumable on disk after a failed re-enqueue at startup.\n# TYPE rescqd_replay_dropped gauge\nrescqd_replay_dropped %d\n", s.ReplayInfo().Dropped)
+	}
+	if s.an != nil {
+		as := s.an.Stats()
+		metrics.PromLine(w, "gauge", "rescqd_analytics_groups", "Materialized analytics aggregate cells (distinct axis tuples).", int64(as.Groups))
+		metrics.PromLine(w, "gauge", "rescqd_analytics_group_cap", "Configured aggregate-cell cardinality cap.", int64(as.GroupCap))
+		metrics.PromLine(w, "gauge", "rescqd_analytics_benchmarks", "Benchmarks with at least one analytics cell.", int64(as.Benchmarks))
+		metrics.PromLine(w, "counter", "rescqd_analytics_results_ingested_total", "Results folded into analytics aggregates.", as.Ingested)
+		metrics.PromLine(w, "counter", "rescqd_analytics_results_skipped_total", "Results that advanced a watermark with nothing to aggregate (errors, reports).", as.Skipped)
+		metrics.PromLine(w, "counter", "rescqd_analytics_results_deduped_total", "Replayed results rejected by a job watermark.", as.Deduped)
+		metrics.PromLine(w, "counter", "rescqd_analytics_results_dropped_total", "Results beyond the cardinality cap, counted but not aggregated.", as.Dropped)
+		metrics.PromLine(w, "counter", "rescqd_analytics_queries_total", "Analytics queries served.", as.Queries)
+		metrics.PromLine(w, "counter", "rescqd_analytics_snapshots_total", "Analytics snapshots written to the WAL.", as.Snapshots)
+		metrics.PromLine(w, "gauge", "rescqd_analytics_ingest_lag", "Results folded since the last durable analytics snapshot (replay cost of a crash now).", as.IngestLag)
 	}
 	if ws, ok := s.ClusterWorkers(); ok {
 		fmt.Fprintf(w, "# HELP rescqd_cluster_workers Live workers registered with the coordinator.\n# TYPE rescqd_cluster_workers gauge\nrescqd_cluster_workers %d\n", len(ws))

@@ -85,6 +85,7 @@ import (
 	"time"
 
 	rescq "repro"
+	"repro/internal/analytics"
 	"repro/internal/config"
 	"repro/internal/metrics"
 	"repro/internal/schedq"
@@ -276,6 +277,10 @@ type Server struct {
 	sched schedq.Scheduler
 	store *store.Store  // nil until AttachStore; durability layer
 	clust *clusterState // nil in standalone mode; scale-out layer
+	// an aggregates the persisted result stream for GET /v1/analytics/*
+	// (nil when disabled); fed at persist time, rebuilt from the WAL at
+	// AttachStore. See analytics.go for the wiring.
+	an *analytics.Store
 
 	// pending counts run configurations admitted but not yet finished —
 	// the quantity Daemon.MaxQueueDepth bounds (admission control).
@@ -350,6 +355,9 @@ func New(cfg config.Daemon, runner Runner) *Server {
 	if cfg.CacheEntries > 0 {
 		s.cache = newResultCache(cfg.CacheEntries)
 		s.inflight = make(map[string]chan struct{})
+	}
+	if cfg.AnalyticsEnabled() {
+		s.an = analytics.New(cfg.AnalyticsMaxGroups)
 	}
 	s.clust = newClusterState(cfg.Cluster)
 	for i := range s.shards {
@@ -622,6 +630,7 @@ func (s *Server) failFast(j *Job, err error) {
 		// restart can retry the re-enqueue.
 		s.persistDone(j, JobFailed, err)
 	}
+	s.analyticsForget(j.ID)
 	close(j.events)
 	close(j.doneCh)
 	j.cancel() // release the baseCtx child (see execute)
@@ -742,6 +751,7 @@ func (s *Server) execute(j *Job) {
 	s.sched.JobDone(j.Tenant)
 	tc.Done.Add(1)
 	s.persistDone(j, state, err)
+	s.analyticsForget(j.ID)
 	close(j.events)
 	close(j.doneCh)
 	// Release the context child registered on baseCtx; without this every

@@ -880,6 +880,32 @@ func TestCapabilitiesEndpoint(t *testing.T) {
 	if caps.DefaultLayout != "linear" {
 		t.Errorf("default layout = %q, want the configured linear", caps.DefaultLayout)
 	}
+	for _, want := range []string{"wfq", "fifo"} {
+		if !slices.Contains(caps.QueuePolicies, want) {
+			t.Errorf("queue policies %v missing %q", caps.QueuePolicies, want)
+		}
+	}
+	for _, want := range []string{"/v1/analytics/groupby", "/v1/analytics/pareto", "/v1/analytics/sensitivity"} {
+		if !slices.Contains(caps.Analytics, want) {
+			t.Errorf("analytics endpoints %v missing %q", caps.Analytics, want)
+		}
+	}
+
+	// With analytics disabled, the endpoint list disappears but the rest
+	// of the discovery payload is unchanged.
+	off := false
+	_, ts2 := newTestServer(t, config.Daemon{Analytics: &off}, &countingRunner{})
+	resp2, err := http.Get(ts2.URL + "/v1/capabilities")
+	if err != nil {
+		t.Fatalf("GET capabilities: %v", err)
+	}
+	caps2 := decode[Capabilities](t, resp2)
+	if caps2.Analytics != nil {
+		t.Errorf("disabled daemon still advertises analytics endpoints: %v", caps2.Analytics)
+	}
+	if len(caps2.QueuePolicies) == 0 || len(caps2.Benchmarks) == 0 {
+		t.Error("disabling analytics gutted the rest of the capabilities payload")
+	}
 }
 
 // TestSweepLayoutAxis sweeps the layout dimension with a fake runner and

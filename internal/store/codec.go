@@ -50,6 +50,7 @@ const (
 	binKindJob    = 1
 	binKindResult = 2
 	binKindDone   = 3
+	binKindState  = 4
 )
 
 // flagCompressed (payload byte 1, bit 0) marks a flate-compressed body.
@@ -125,6 +126,10 @@ func binaryBody(v any) (kind byte, body []byte, err error) {
 		body = appendBlob(body, []byte(r.State))
 		body = appendBlob(body, []byte(r.Error))
 		return binKindDone, body, nil
+	case StateRecord:
+		body = appendBlob(body, []byte(r.Name))
+		body = appendBlob(body, r.Payload)
+		return binKindState, body, nil
 	}
 	return 0, nil, fmt.Errorf("store: unencodable record %T", v)
 }
@@ -287,6 +292,15 @@ func decodeBinaryBody(kind byte, body []byte) (any, error) {
 			return nil, err
 		}
 		return DoneRecord{Type: recDone, JobID: string(f[0]), State: string(f[1]), Error: string(f[2])}, nil
+	case binKindState:
+		if err := fields(2, -1); err != nil {
+			return nil, err
+		}
+		rec := StateRecord{Type: recState, Name: string(f[0])}
+		if len(f[1]) > 0 {
+			rec.Payload = json.RawMessage(f[1])
+		}
+		return rec, nil
 	}
 	return nil, errCorruptRecord
 }

@@ -83,6 +83,7 @@ const (
 	recJob    = "job"
 	recResult = "result"
 	recDone   = "done"
+	recState  = "state"
 )
 
 // Failpoints on the WAL's write paths (see internal/fault). An injected
@@ -129,6 +130,22 @@ type DoneRecord struct {
 	JobID string `json:"job"`
 	State string `json:"state"`
 	Error string `json:"error,omitempty"`
+}
+
+// StateRecord persists one named auxiliary state blob riding the job log
+// — e.g. the analytics aggregate snapshot. Last writer wins per name, the
+// current value is carried through every compaction, and replay surfaces
+// it via State; it is invisible to job replay. The payload must be valid
+// JSON (the JSON codec embeds it verbatim).
+//
+// Note for downgrades: daemons older than this record kind treat unknown
+// record types as corruption, so a log that carries state records does
+// not replay on them. Disabling the writer (-analytics=false) keeps a log
+// free of state records.
+type StateRecord struct {
+	Type    string          `json:"type"` // filled by the store
+	Name    string          `json:"name"`
+	Payload json.RawMessage `json:"payload,omitempty"`
 }
 
 // ReplayedJob is one job reconstructed from the log: the job record, its
@@ -211,8 +228,9 @@ type Store struct {
 	path string
 	f    *os.File
 
-	jobs  map[string]*ReplayedJob
-	order []string // job ids in first-seen order
+	jobs   map[string]*ReplayedJob
+	order  []string          // job ids in first-seen order
+	states map[string][]byte // named auxiliary state blobs, last writer wins
 
 	codec       string // the log's active append codec
 	records     int    // records currently in the log file (including garbage)
@@ -295,6 +313,10 @@ func Open(dir string, opts Options) (*Store, error) {
 	for _, id := range st.order {
 		s.jobs[id] = st.jobs[id]
 		s.order = append(s.order, id)
+	}
+	s.states = st.states
+	if s.states == nil {
+		s.states = make(map[string][]byte)
 	}
 	s.replayed = st.sorted()
 	if fi, err := f.Stat(); err == nil {
@@ -419,6 +441,49 @@ func (s *Store) AppendDone(r DoneRecord) error {
 	return s.maybeCompactLocked()
 }
 
+// PutState upserts a named auxiliary state blob (see StateRecord). The
+// payload must be valid JSON. Last write wins; the current value rides
+// every compaction, so replay cost for the state is one record.
+func (s *Store) PutState(name string, payload []byte) error {
+	if name == "" {
+		return errors.New("store: state name required")
+	}
+	r := StateRecord{Type: recState, Name: name, Payload: json.RawMessage(payload)}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return errClosed
+	}
+	if err := s.writeLocked(r); err != nil {
+		return err
+	}
+	s.states[name] = append([]byte(nil), payload...)
+	return s.maybeCompactLocked()
+}
+
+// State returns the named auxiliary state blob as of the last PutState
+// (or the replayed value at Open), and whether it exists.
+func (s *Store) State(name string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.states[name]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), b...), true
+}
+
+// HasJob reports whether the store's index still holds the job — i.e.
+// whether a future replay of this store could resurface its records.
+// Callers that keep per-job replay bookkeeping (the analytics watermarks)
+// use it to prune entries for jobs compaction has evicted.
+func (s *Store) HasJob(id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.jobs[id]
+	return ok
+}
+
 var errClosed = errors.New("store: closed")
 
 // ErrLocked is returned by Open when another live process holds the WAL.
@@ -489,7 +554,7 @@ func (s *Store) writeLocked(v any) error {
 
 // liveRecords counts the records a compacted log would hold.
 func (s *Store) liveRecords() int {
-	n := 0
+	n := len(s.states)
 	for _, j := range s.jobs {
 		n += 1 + len(j.Results)
 		if j.State != "" {
@@ -573,6 +638,19 @@ func (s *Store) compactLocked() error {
 			ok = ok && emit(DoneRecord{Type: recDone, JobID: id, State: j.State, Error: j.Error})
 		}
 		if !ok {
+			tmp.Close()
+			return fmt.Errorf("store: compact: rewrite failed")
+		}
+	}
+	// Auxiliary state blobs survive compaction at their latest value,
+	// emitted in name order so identical state compacts to identical bytes.
+	names := make([]string, 0, len(s.states))
+	for name := range s.states {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if !emit(StateRecord{Type: recState, Name: name, Payload: json.RawMessage(s.states[name])}) {
 			tmp.Close()
 			return fmt.Errorf("store: compact: rewrite failed")
 		}
@@ -682,6 +760,7 @@ func (s *Store) Close() error {
 type replayState struct {
 	jobs    map[string]*ReplayedJob
 	order   []string // first-seen order
+	states  map[string][]byte
 	records int
 	dropped int
 }
@@ -739,6 +818,15 @@ func (st *replayState) apply(rec any) error {
 		if j.State == "" {
 			j.State, j.Error = r.State, r.Error
 		}
+	case StateRecord:
+		if r.Name == "" {
+			return errors.New("state record without name")
+		}
+		if st.states == nil {
+			st.states = make(map[string][]byte)
+		}
+		// Last writer wins: the log is replayed oldest-first.
+		st.states[r.Name] = append([]byte(nil), r.Payload...)
 	default:
 		return fmt.Errorf("unknown record %T", rec)
 	}
@@ -815,6 +903,11 @@ func replayJSON(st *replayState, r *bufio.Reader) error {
 			var dr DoneRecord
 			if err := json.Unmarshal(line, &dr); err == nil {
 				rec = dr
+			}
+		case recState:
+			var sr StateRecord
+			if err := json.Unmarshal(line, &sr); err == nil {
+				rec = sr
 			}
 		default:
 			st.dropped++
